@@ -1,0 +1,46 @@
+//! Plain eager memcpy: the baseline of every evaluation figure.
+//!
+//! Thin wrappers over [`mcsquare::software::memcpy_eager_uops`] so
+//! workloads depend on one baselines crate for all copy mechanisms.
+
+use mcs_sim::addr::PhysAddr;
+use mcs_sim::uop::{StatTag, Uop, UopKind};
+
+/// Eager memcpy uops: per ≤64B chunk, a load and a dependent store.
+pub fn memcpy_uops(base_id: u64, dst: PhysAddr, src: PhysAddr, size: u64) -> Vec<Uop> {
+    mcsquare::software::memcpy_eager_uops(base_id, dst, src, size, StatTag::Memcpy)
+}
+
+/// Eager memcpy followed by CLWB of each destination line and a fence —
+/// used where the result must be in memory for a fair final-state
+/// comparison with the lazy path.
+pub fn memcpy_flushed_uops(base_id: u64, dst: PhysAddr, src: PhysAddr, size: u64) -> Vec<Uop> {
+    let mut uops = memcpy_uops(base_id, dst, src, size);
+    for line in mcs_sim::addr::lines_of(dst, size) {
+        uops.push(Uop::new(UopKind::Clwb { addr: line }, StatTag::Memcpy));
+    }
+    uops.push(Uop::new(UopKind::Mfence, StatTag::Memcpy));
+    uops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_count_matches_size() {
+        let uops = memcpy_uops(0, PhysAddr(0x1000), PhysAddr(0x2000), 256);
+        let loads = uops.iter().filter(|u| matches!(u.kind, UopKind::Load { .. })).count();
+        let stores = uops.iter().filter(|u| matches!(u.kind, UopKind::Store { .. })).count();
+        assert_eq!(loads, 4);
+        assert_eq!(stores, 4);
+    }
+
+    #[test]
+    fn flushed_variant_ends_with_fence() {
+        let uops = memcpy_flushed_uops(0, PhysAddr(0x1000), PhysAddr(0x2000), 128);
+        assert!(matches!(uops.last().unwrap().kind, UopKind::Mfence));
+        let clwbs = uops.iter().filter(|u| matches!(u.kind, UopKind::Clwb { .. })).count();
+        assert_eq!(clwbs, 2);
+    }
+}

@@ -1,0 +1,106 @@
+//! Criterion microbenchmarks for the hot (MC)² data structures: CTT
+//! insert/lookup/untrack under realistic mixes, the interval map, and the
+//! BPQ.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mcs_sim::addr::PhysAddr;
+use mcs_sim::data::LineData;
+use mcsquare::bpq::Bpq;
+use mcsquare::ctt::Ctt;
+use mcsquare::ranges::{ByteRange, RangeMap, SrcBase};
+use std::hint::black_box;
+
+fn half_full_ctt() -> Ctt {
+    let mut c = Ctt::new(2048);
+    for i in 0..1024u64 {
+        // Distinct, non-mergeable 1 KB entries.
+        let dst = PhysAddr(i * 8192);
+        let src = PhysAddr((1 << 30) + i * 16384 + 24);
+        c.try_insert(dst, src, 1024).expect("fits");
+    }
+    c
+}
+
+fn bench_ctt(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ctt");
+
+    g.bench_function("insert_into_half_full", |b| {
+        b.iter_batched(
+            half_full_ctt,
+            |mut ctt| {
+                ctt.try_insert(
+                    black_box(PhysAddr(900 * 8192 + 4096)),
+                    black_box(PhysAddr(2 << 30)),
+                    1024,
+                )
+                .unwrap();
+                ctt
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    let ctt = half_full_ctt();
+    g.bench_function("lookup_hit", |b| {
+        b.iter(|| black_box(ctt.lookup_line(black_box(PhysAddr(512 * 8192)))))
+    });
+    g.bench_function("lookup_miss", |b| {
+        b.iter(|| black_box(ctt.lookup_line(black_box(PhysAddr(3 << 30)))))
+    });
+    g.bench_function("covers_dst_miss", |b| {
+        b.iter(|| black_box(ctt.covers_dst(black_box(PhysAddr(3 << 30)), 64)))
+    });
+    g.bench_function("src_overlap_scan", |b| {
+        b.iter(|| black_box(ctt.src_overlapping(black_box(PhysAddr((1 << 30) + 512 * 16384)), 64)))
+    });
+
+    g.bench_function("untrack_line", |b| {
+        b.iter_batched(
+            half_full_ctt,
+            |mut ctt| {
+                ctt.remove_dst(black_box(PhysAddr(512 * 8192 + 64)), 64);
+                ctt
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_range_map(c: &mut Criterion) {
+    let mut g = c.benchmark_group("range_map");
+    g.bench_function("insert_coalescing_stream", |b| {
+        b.iter(|| {
+            let mut m: RangeMap<SrcBase> = RangeMap::new();
+            for i in 0..256u64 {
+                m.insert(ByteRange::sized(i * 64, 64), SrcBase((1 << 20) + i * 64));
+            }
+            black_box(m.segments())
+        })
+    });
+    g.bench_function("overlapping_query", |b| {
+        let mut m: RangeMap<SrcBase> = RangeMap::new();
+        for i in 0..1024u64 {
+            m.insert(ByteRange::sized(i * 256, 64), SrcBase(i));
+        }
+        b.iter(|| black_box(m.overlapping(ByteRange::new(100_000, 100_064)).len()))
+    });
+    g.finish();
+}
+
+fn bench_bpq(c: &mut Criterion) {
+    c.bench_function("bpq_insert_lookup_release", |b| {
+        b.iter(|| {
+            let mut q = Bpq::new(8);
+            for i in 0..8u64 {
+                q.insert(PhysAddr(i * 64), LineData::splat(i as u8));
+            }
+            let hit = q.get(black_box(PhysAddr(4 * 64))).is_some();
+            let out = q.take_ready(|_| true);
+            black_box((hit, out.len()))
+        })
+    });
+}
+
+criterion_group!(benches, bench_ctt, bench_range_map, bench_bpq);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion benchmarks for the simulator itself, plus an end-to-end lazy
+//! vs. eager copy comparison at a fixed size (a smoke version of Fig. 10
+//! suitable for `cargo bench`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcs_sim::alloc::AddrSpace;
+use mcs_sim::config::SystemConfig;
+use mcs_sim::program::FixedProgram;
+use mcs_sim::system::System;
+use mcs_workloads::micro::copy_latency;
+use mcs_workloads::CopyMech;
+use mcsquare::{McSquareConfig, McSquareEngine};
+use std::hint::black_box;
+
+fn run_copy(mech: CopyMech, size: u64) -> u64 {
+    let mut space = AddrSpace::dram_3gb();
+    let g = copy_latency(mech.clone(), size, false, &mut space);
+    let cfg = SystemConfig::table1_one_core();
+    let mut sys = if mech.needs_engine() {
+        let e = McSquareEngine::new(McSquareConfig::default(), cfg.channels);
+        System::with_engine(cfg, vec![Box::new(FixedProgram::new(g.uops))], Box::new(e))
+    } else {
+        System::new(cfg, vec![Box::new(FixedProgram::new(g.uops))])
+    };
+    g.pokes.apply(&mut sys);
+    let stats = sys.run(1_000_000_000).expect("finishes");
+    mcs_workloads::common::marker_latencies(&stats.cores[0])[0]
+}
+
+fn bench_copies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_copy_16k");
+    g.sample_size(10);
+    g.bench_function("native", |b| {
+        b.iter(|| black_box(run_copy(CopyMech::Native, 16 * 1024)))
+    });
+    g.bench_function("mcsquare", |b| {
+        b.iter(|| black_box(run_copy(CopyMech::McSquare { threshold: 0 }, 16 * 1024)))
+    });
+    g.finish();
+}
+
+fn bench_tick_rate(c: &mut Criterion) {
+    // Pure tick throughput with a short streaming-read program.
+    c.bench_function("sim_4k_streaming_read", |b| {
+        b.iter(|| {
+            let mut uops = Vec::new();
+            for i in 0..64u64 {
+                uops.push(mcs_sim::uop::Uop::new(
+                    mcs_sim::uop::UopKind::Load {
+                        addr: mcs_sim::addr::PhysAddr(0x100000 + i * 64),
+                        size: 64,
+                    },
+                    mcs_sim::uop::StatTag::App,
+                ));
+            }
+            let mut sys = System::new(
+                SystemConfig::table1_one_core(),
+                vec![Box::new(FixedProgram::new(uops))],
+            );
+            black_box(sys.run(10_000_000).expect("finishes").cycles)
+        })
+    });
+}
+
+criterion_group!(benches, bench_copies, bench_tick_rate);
+criterion_main!(benches);

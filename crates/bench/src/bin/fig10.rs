@@ -1,0 +1,56 @@
+//! Figure 10: copy latency vs. size for native memcpy, zIO, touched
+//! memcpy, and (MC)².
+//!
+//! Paper shape: (MC)² is 55% – 11× faster than memcpy for ≥ 1 KB; zIO is
+//! flat-expensive until 64 KB (page floor + shootdown) then wins big at
+//! 4 MB; touched memcpy is fastest at small sizes, and (MC)² approaches it
+//! from 16 KB up.
+
+use mcs_bench::{f3, fmt_size, ns, timed_run, Job, Table};
+use mcs_sim::alloc::AddrSpace;
+use mcs_sim::config::SystemConfig;
+use mcs_workloads::micro::copy_latency;
+use mcs_workloads::CopyMech;
+use mcsquare::McSquareConfig;
+
+fn main() {
+    let sizes: Vec<u64> =
+        vec![64, 256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20];
+    let mechs: Vec<(&str, CopyMech, bool)> = vec![
+        ("memcpy", CopyMech::Native, false),
+        ("zio", CopyMech::Zio, false),
+        ("touched_memcpy", CopyMech::Native, true),
+        ("mcsquare", CopyMech::McSquare { threshold: 0 }, false),
+    ];
+
+    let points: Vec<(usize, u64)> = mechs
+        .iter()
+        .enumerate()
+        .flat_map(|(mi, _)| sizes.iter().map(move |&s| (mi, s)))
+        .collect();
+
+    let results = mcs_bench::par_run(points, |&(mi, size)| {
+        let (_, mech, touch) = &mechs[mi];
+        let mut space = AddrSpace::dram_3gb();
+        let g = copy_latency(mech.clone(), size, *touch, &mut space);
+        let mc2 = mech.needs_engine().then(McSquareConfig::default);
+        Job::single(SystemConfig::table1_one_core(), mc2, g.uops, g.pokes)
+    });
+
+    let mut table = Table::new(
+        "fig10",
+        "copy latency (ns) for native memcpy, zIO, touched memcpy and (MC)^2",
+        &["size", "memcpy_ns", "zio_ns", "touched_ns", "mcsquare_ns"],
+    );
+    for (si, &size) in sizes.iter().enumerate() {
+        let mut row = vec![fmt_size(size)];
+        for mi in 0..mechs.len() {
+            let (_, stats) = &results[mi * sizes.len() + si];
+            let lat = mcs_workloads::common::marker_latencies(&stats.cores[0])[0];
+            row.push(f3(ns(lat)));
+        }
+        table.row(row);
+    }
+    table.emit();
+    let _ = timed_run; // alternative single-run entry point
+}

@@ -1,0 +1,66 @@
+//! Figure 15: MongoDB average insertion latency for baseline, zIO, and
+//! (MC)².
+//!
+//! Paper shape: (MC)² speeds up inserts ~15.5%; zIO *slows them down*
+//! ~9.7% because copied fields are accessed (B-tree, log) and fault.
+//! The paper's 10 × 100 KB fields × 50 inserts are scaled down to
+//! 10 × 16 KB × 8 (recorded in EXPERIMENTS.md); the copy-to-access
+//! pattern, not the absolute volume, drives the result.
+
+use mcs_bench::{f3, ms, Job, Table};
+use mcs_sim::alloc::AddrSpace;
+use mcs_sim::config::SystemConfig;
+use mcs_workloads::common::marker_latencies;
+use mcs_workloads::mongodb::{mongodb_program, MongoConfig};
+use mcs_workloads::CopyMech;
+use mcsquare::McSquareConfig;
+
+fn main() {
+    // Paper: 10 × 100 KB fields, 50 inserts. We run 10 × 96 KB fields and
+    // 4 inserts (time-scaled; the copy-then-access pattern is preserved).
+    let wcfg = MongoConfig {
+        inserts: 4,
+        fields: 10,
+        field_size: 96 * 1024,
+        // Full MongoDB does substantial non-copy work per field (BSON
+        // validation, index maintenance, journaling) — Fig. 2 puts its
+        // copy overhead near 40%, which these costs reproduce.
+        server_work: 30_000,
+        parse_cost: 20_000,
+        ..MongoConfig::default()
+    };
+    let mechs: Vec<(&str, CopyMech)> = vec![
+        ("baseline", CopyMech::Native),
+        ("zio", CopyMech::Zio),
+        ("mcsquare", CopyMech::McSquare { threshold: 1024 }),
+    ];
+
+    let mechs_ref = &mechs;
+    let wc = &wcfg;
+    let results = mcs_bench::par_run((0..mechs.len()).collect(), |&mi| {
+        let mut space = AddrSpace::dram_3gb();
+        let (uops, pokes, _) = mongodb_program(mechs_ref[mi].1.clone(), wc, &mut space);
+        let mc2 = mechs_ref[mi].1.needs_engine().then(McSquareConfig::default);
+        Job::single(SystemConfig::table1_one_core(), mc2, uops, pokes)
+    });
+
+    let avg = |stats: &mcs_sim::stats::RunStats| {
+        let l = marker_latencies(&stats.cores[0]);
+        l.iter().sum::<u64>() as f64 / l.len() as f64
+    };
+    let base = avg(&results[0].1);
+    let mut table = Table::new(
+        "fig15",
+        "MongoDB average insertion latency (ms) and change vs baseline",
+        &["mechanism", "avg_latency_ms", "vs_baseline"],
+    );
+    for (mi, (name, _)) in mechs.iter().enumerate() {
+        let t = avg(&results[mi].1);
+        table.row(vec![
+            name.to_string(),
+            f3(ms(t as u64)),
+            format!("{:+.1}%", (t / base - 1.0) * 100.0),
+        ]);
+    }
+    table.emit();
+}

@@ -1,0 +1,258 @@
+//! # mcs-bench — benchmark harness for the (MC)² evaluation
+//!
+//! Provides the plumbing every figure binary shares: building and running
+//! simulated systems (optionally with the (MC)² engine), parallel
+//! parameter sweeps, and tab-separated result tables written to stdout and
+//! `results/figXX.tsv`, mirroring the paper artifact's output layout.
+
+use mcs_sim::config::SystemConfig;
+use mcs_sim::program::{FixedProgram, Program};
+use mcs_sim::stats::RunStats;
+use mcs_sim::system::System;
+use mcs_sim::uop::Uop;
+use mcs_sim::Cycle;
+use mcs_workloads::Pokes;
+use mcsquare::{McSquareConfig, McSquareEngine};
+use std::path::Path;
+
+/// CPU frequency of the Table I machine (cycles per nanosecond).
+pub const CYCLES_PER_NS: f64 = 4.0;
+
+/// Convert cycles to nanoseconds at 4 GHz.
+pub fn ns(cycles: u64) -> f64 {
+    cycles as f64 / CYCLES_PER_NS
+}
+
+/// Convert cycles to milliseconds at 4 GHz.
+pub fn ms(cycles: u64) -> f64 {
+    ns(cycles) / 1e6
+}
+
+/// One simulation job: a system configuration, per-core programs, memory
+/// initialisation, and an optional (MC)² engine configuration.
+pub struct Job {
+    /// System configuration.
+    pub cfg: SystemConfig,
+    /// Engine configuration; `None` = baseline machine.
+    pub mc2: Option<McSquareConfig>,
+    /// One program per core (padded with idle programs if short).
+    pub programs: Vec<Box<dyn Program>>,
+    /// Memory initialisation.
+    pub pokes: Pokes,
+    /// Cycle budget.
+    pub max_cycles: Cycle,
+}
+
+impl Job {
+    /// Single-core job from a uop list.
+    pub fn single(
+        cfg: SystemConfig,
+        mc2: Option<McSquareConfig>,
+        uops: Vec<Uop>,
+        pokes: Pokes,
+    ) -> Job {
+        Job {
+            cfg,
+            mc2,
+            programs: vec![Box::new(FixedProgram::new(uops))],
+            pokes,
+            max_cycles: 20_000_000_000,
+        }
+    }
+
+    /// Run to completion.
+    ///
+    /// # Panics
+    /// Panics if the simulation exceeds the cycle budget (a bug, not a
+    /// measurement).
+    pub fn run(mut self) -> RunStats {
+        let mut cfg = self.cfg;
+        while self.programs.len() < cfg.cores {
+            self.programs.push(Box::new(mcs_sim::program::IdleProgram));
+        }
+        cfg.cores = self.programs.len();
+        let mut sys = match &self.mc2 {
+            Some(m) => {
+                let engine = McSquareEngine::new(m.clone(), cfg.channels);
+                System::with_engine(cfg, self.programs, Box::new(engine))
+            }
+            None => System::new(cfg, self.programs),
+        };
+        self.pokes.apply(&mut sys);
+        match sys.run(self.max_cycles) {
+            Ok(stats) => stats,
+            Err(e) => panic!("simulation stuck: {e}\n{}", sys.debug_dump()),
+        }
+    }
+}
+
+/// Run the marker-0/1-bracketed section of a single-core job and return
+/// (elapsed cycles, full stats).
+pub fn timed_run(job: Job) -> (u64, RunStats) {
+    let stats = job.run();
+    let lat = mcs_workloads::common::marker_latencies(&stats.cores[0]);
+    let cycles = lat.first().copied().unwrap_or(stats.cycles);
+    (cycles, stats)
+}
+
+/// Run a set of independent jobs in parallel (one OS thread each, capped
+/// at the available parallelism), preserving order.
+pub fn par_run<T, F>(points: Vec<T>, f: F) -> Vec<(T, RunStats)>
+where
+    T: Send + Clone,
+    F: Fn(&T) -> Job + Sync,
+{
+    let max_par = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let mut out: Vec<Option<(T, RunStats)>> = (0..points.len()).map(|_| None).collect();
+    let mut idx = 0;
+    while idx < points.len() {
+        let chunk_end = (idx + max_par).min(points.len());
+        let chunk: Vec<(usize, T)> =
+            (idx..chunk_end).map(|i| (i, points[i].clone())).collect();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = chunk
+                .into_iter()
+                .map(|(i, p)| {
+                    let f = &f;
+                    s.spawn(move || {
+                        let stats = f(&p).run();
+                        (i, p, stats)
+                    })
+                })
+                .collect();
+            for h in handles {
+                let (i, p, stats) = h.join().expect("sweep worker panicked");
+                out[i] = Some((p, stats));
+            }
+        });
+        idx = chunk_end;
+    }
+    out.into_iter().map(|o| o.expect("filled")).collect()
+}
+
+/// A result table, printed as TSV and saved under `results/`.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Output name, e.g. "fig10".
+    pub name: String,
+    /// Free-text caption echoed as a `#` comment.
+    pub caption: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(name: &str, caption: &str, headers: &[&str]) -> Table {
+        Table {
+            name: name.to_string(),
+            caption: caption.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render as TSV.
+    pub fn render(&self) -> String {
+        let mut s = format!("# {} — {}\n", self.name, self.caption);
+        s.push_str(&self.headers.join("\t"));
+        s.push('\n');
+        for r in &self.rows {
+            s.push_str(&r.join("\t"));
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Print to stdout and save to `results/<name>.tsv`.
+    pub fn emit(&self) {
+        let text = self.render();
+        print!("{text}");
+        let dir = Path::new("results");
+        if std::fs::create_dir_all(dir).is_ok() {
+            let _ = std::fs::write(dir.join(format!("{}.tsv", self.name)), &text);
+        }
+    }
+}
+
+/// Format a byte size the way the figures label their axes.
+pub fn fmt_size(bytes: u64) -> String {
+    match bytes {
+        b if b >= 1 << 20 => format!("{}MB", b >> 20),
+        b if b >= 1 << 10 => format!("{}KB", b >> 10),
+        b => format!("{b}B"),
+    }
+}
+
+/// Format a float with 3 significant decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_sim::addr::PhysAddr;
+    use mcs_sim::uop::{StatTag, UopKind};
+
+    #[test]
+    fn single_job_runs() {
+        let uops = vec![Uop::new(
+            UopKind::Load { addr: PhysAddr(0x1000), size: 8 },
+            StatTag::App,
+        )];
+        let stats = Job::single(SystemConfig::tiny(), None, uops, Pokes::default()).run();
+        assert_eq!(stats.cores[0].loads, 1);
+    }
+
+    #[test]
+    fn par_run_preserves_order() {
+        let points: Vec<u64> = (1..=6).collect();
+        let results = par_run(points.clone(), |&n| {
+            let uops: Vec<Uop> = (0..n)
+                .map(|i| {
+                    Uop::new(
+                        UopKind::Load { addr: PhysAddr(0x1000 + i * 64), size: 8 },
+                        StatTag::App,
+                    )
+                })
+                .collect();
+            Job::single(SystemConfig::tiny(), None, uops, Pokes::default())
+        });
+        for (i, (p, st)) in results.iter().enumerate() {
+            assert_eq!(*p, points[i]);
+            assert_eq!(st.cores[0].loads, *p);
+        }
+    }
+
+    #[test]
+    fn table_rendering() {
+        let mut t = Table::new("test", "a caption", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let s = t.render();
+        assert!(s.contains("# test — a caption"));
+        assert!(s.contains("a\tb"));
+        assert!(s.contains("1\t2"));
+    }
+
+    #[test]
+    fn size_formatting() {
+        assert_eq!(fmt_size(64), "64B");
+        assert_eq!(fmt_size(2048), "2KB");
+        assert_eq!(fmt_size(4 << 20), "4MB");
+    }
+
+    #[test]
+    fn unit_conversions() {
+        assert!((ns(4000) - 1000.0).abs() < 1e-9);
+        assert!((ms(4_000_000) - 1.0).abs() < 1e-9);
+    }
+}

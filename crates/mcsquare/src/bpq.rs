@@ -1,0 +1,190 @@
+//! The Bounce Pending Queue (BPQ), §III-A2.
+//!
+//! Writes arriving at a memory controller for a cacheline that is the
+//! *source* of prospective copies cannot be applied to memory until the
+//! dependent destinations have been copied (the copy logically happened at
+//! MCLAZY time, before the write). The BPQ holds such writes; reads and
+//! writes to held lines are merged and serviced from the queue, and the
+//! entry is released to memory once no prospective copy depends on the
+//! line. A small queue (8 entries in Table I) absorbs bursts; when it
+//! fills, further source writes back-pressure the caches (Fig. 21).
+
+use mcs_sim::addr::PhysAddr;
+use mcs_sim::data::LineData;
+
+/// One held source-line write.
+#[derive(Debug, Clone)]
+pub struct BpqEntry {
+    /// The held line (base address).
+    pub line: PhysAddr,
+    /// The newest write data for the line.
+    pub data: LineData,
+}
+
+/// A bounce pending queue for one memory controller.
+#[derive(Debug, Clone)]
+pub struct Bpq {
+    cap: usize,
+    entries: Vec<BpqEntry>,
+    /// Peak occupancy observed (stats).
+    pub peak: usize,
+    /// Writes merged into existing entries (stats).
+    pub merges: u64,
+    /// Entries released to memory (stats).
+    pub releases: u64,
+}
+
+impl Bpq {
+    /// Create a queue holding up to `cap` cachelines.
+    pub fn new(cap: usize) -> Bpq {
+        Bpq { cap, entries: Vec::new(), peak: 0, merges: 0, releases: 0 }
+    }
+
+    /// Queue capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Number of held lines.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether the queue is full (further source writes must stall).
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.cap
+    }
+
+    /// The held data for `line`, if present (read merging, Fig. 9 state 3:
+    /// "reads and writes to Si are serviced directly from the BPQ").
+    pub fn get(&self, line: PhysAddr) -> Option<&LineData> {
+        let line = line.line_base();
+        self.entries.iter().find(|e| e.line == line).map(|e| &e.data)
+    }
+
+    /// Whether `line` is held.
+    pub fn contains(&self, line: PhysAddr) -> bool {
+        self.get(line).is_some()
+    }
+
+    /// Whether any held line falls within `[addr, addr+len)`.
+    pub fn overlaps(&self, addr: PhysAddr, len: u64) -> bool {
+        let lo = addr.line_base().0;
+        let hi = addr.0 + len;
+        self.entries.iter().any(|e| e.line.0 < hi && e.line.0 + 64 > lo)
+    }
+
+    /// Insert a write, merging with an existing entry for the same line.
+    ///
+    /// Returns `false` (and changes nothing) if the queue is full and the
+    /// line is not already held.
+    pub fn insert(&mut self, line: PhysAddr, data: LineData) -> bool {
+        let line = line.line_base();
+        if let Some(e) = self.entries.iter_mut().find(|e| e.line == line) {
+            e.data = data;
+            self.merges += 1;
+            return true;
+        }
+        if self.is_full() {
+            return false;
+        }
+        self.entries.push(BpqEntry { line, data });
+        self.peak = self.peak.max(self.entries.len());
+        true
+    }
+
+    /// Remove and return entries for which `ready` holds (release to
+    /// memory, Fig. 9 state 4: "the BPQ writes Si to memory").
+    pub fn take_ready(&mut self, mut ready: impl FnMut(PhysAddr) -> bool) -> Vec<BpqEntry> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < self.entries.len() {
+            if ready(self.entries[i].line) {
+                out.push(self.entries.remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        self.releases += out.len() as u64;
+        out
+    }
+
+    /// Iterate over held lines.
+    pub fn iter(&self) -> impl Iterator<Item = &BpqEntry> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pa(x: u64) -> PhysAddr {
+        PhysAddr(x)
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut q = Bpq::new(2);
+        assert!(q.insert(pa(0x1000), LineData::splat(1)));
+        assert_eq!(q.get(pa(0x1020)), Some(&LineData::splat(1)), "any addr in line");
+        assert!(q.contains(pa(0x103f)));
+        assert!(!q.contains(pa(0x1040)));
+    }
+
+    #[test]
+    fn merge_overwrites_same_line() {
+        let mut q = Bpq::new(1);
+        assert!(q.insert(pa(0x1000), LineData::splat(1)));
+        assert!(q.insert(pa(0x1000), LineData::splat(2)), "same line merges even when full");
+        assert_eq!(q.get(pa(0x1000)), Some(&LineData::splat(2)));
+        assert_eq!(q.merges, 1);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn full_queue_rejects_new_lines() {
+        let mut q = Bpq::new(1);
+        assert!(q.insert(pa(0x1000), LineData::ZERO));
+        assert!(!q.insert(pa(0x2000), LineData::ZERO));
+        assert!(q.is_full());
+    }
+
+    #[test]
+    fn take_ready_releases_selectively() {
+        let mut q = Bpq::new(4);
+        q.insert(pa(0x1000), LineData::splat(1));
+        q.insert(pa(0x2000), LineData::splat(2));
+        q.insert(pa(0x3000), LineData::splat(3));
+        let out = q.take_ready(|l| l.0 != 0x2000);
+        assert_eq!(out.len(), 2);
+        assert_eq!(q.len(), 1);
+        assert!(q.contains(pa(0x2000)));
+        assert_eq!(q.releases, 2);
+    }
+
+    #[test]
+    fn overlaps_checks_line_granularity() {
+        let mut q = Bpq::new(4);
+        q.insert(pa(0x1000), LineData::ZERO);
+        assert!(q.overlaps(pa(0x1030), 8));
+        assert!(q.overlaps(pa(0x0fff), 2), "range ending inside the line");
+        assert!(!q.overlaps(pa(0x1040), 64));
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let mut q = Bpq::new(8);
+        for i in 0..5u64 {
+            q.insert(pa(i * 64), LineData::ZERO);
+        }
+        q.take_ready(|_| true);
+        assert_eq!(q.peak, 5);
+        assert!(q.is_empty());
+    }
+}

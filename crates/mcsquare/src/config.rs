@@ -1,0 +1,73 @@
+//! (MC)² configuration knobs — the axes of the paper's sensitivity studies
+//! (§V-C).
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the (MC)² engine.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct McSquareConfig {
+    /// CTT capacity in entries (Table I: 2,048; Fig. 20 sweeps this).
+    pub ctt_entries: usize,
+    /// BPQ capacity in cachelines per controller (Table I: 8; Fig. 21).
+    pub bpq_entries: usize,
+    /// Start asynchronously freeing entries once occupancy exceeds this
+    /// fraction (paper default: 50%; Fig. 20 sweeps it).
+    pub drain_threshold: f64,
+    /// Entries freed in parallel per memory controller (Fig. 22).
+    pub parallel_free: usize,
+    /// Reject the post-bounce destination writeback when the destination
+    /// controller's WPQ is fuller than this (§III-B2: 75%).
+    pub wpq_reject_frac: f64,
+    /// Write the reconstructed destination line back to memory after a
+    /// bounced read (the optimization the Fig. 13 "No writeback" ablation
+    /// turns off).
+    pub writeback_after_bounce: bool,
+    /// CTT lookup latency in cycles added to bounced requests (0.79 ns ≈ 4
+    /// cycles at 4 GHz, rounded up).
+    pub ctt_latency: u64,
+}
+
+impl Default for McSquareConfig {
+    fn default() -> Self {
+        McSquareConfig {
+            ctt_entries: 2048,
+            bpq_entries: 8,
+            drain_threshold: 0.5,
+            parallel_free: 4,
+            wpq_reject_frac: 0.75,
+            writeback_after_bounce: true,
+            ctt_latency: 4,
+        }
+    }
+}
+
+impl McSquareConfig {
+    /// A small configuration for unit tests (tiny CTT/BPQ so capacity
+    /// effects trigger quickly).
+    pub fn tiny() -> McSquareConfig {
+        McSquareConfig {
+            ctt_entries: 8,
+            bpq_entries: 2,
+            drain_threshold: 0.5,
+            parallel_free: 1,
+            wpq_reject_frac: 0.75,
+            writeback_after_bounce: true,
+            ctt_latency: 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = McSquareConfig::default();
+        assert_eq!(c.ctt_entries, 2048);
+        assert_eq!(c.bpq_entries, 8);
+        assert!((c.drain_threshold - 0.5).abs() < 1e-9);
+        assert!((c.wpq_reject_frac - 0.75).abs() < 1e-9);
+        assert!(c.writeback_after_bounce);
+    }
+}

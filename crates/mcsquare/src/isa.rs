@@ -1,0 +1,144 @@
+//! The (MC)² ISA extension (§III-C): `MCLAZY` and `MCFREE` constructors
+//! with the architectural constraints enforced, plus the entry-encoding
+//! constants of the hardware table.
+//!
+//! `MCLAZY Rdest, Rsrc, Rsize` requests a prospective copy; the
+//! destination must be cacheline aligned and the size a multiple of the
+//! cacheline, the buffers must not overlap, and each operand buffer must
+//! be physically contiguous (one call per page for user buffers — the
+//! [`crate::software::memcpy_lazy_uops`] wrapper handles all of that).
+//! `MCFREE Raddr, Rsize` hints that a buffer is dead. Both behave like
+//! `CLFLUSHOPT` with respect to ordering: parallel among themselves,
+//! ordered only by fences.
+
+use mcs_sim::addr::{PhysAddr, CACHELINE};
+use mcs_sim::uop::{StatTag, Uop, UopKind};
+
+/// Bits of a physical address in a CTT entry (the common architectural
+/// maximum, §III-A1).
+pub const ADDR_BITS: u32 = 52;
+/// Bits of the size field: one entry tracks up to 2 MB.
+pub const SIZE_BITS: u32 = 21;
+
+/// Errors constructing an (MC)² instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IsaError {
+    /// Destination not cacheline aligned.
+    UnalignedDest(PhysAddr),
+    /// Size zero or not a multiple of the cacheline size.
+    BadSize(u64),
+    /// Source and destination ranges overlap.
+    Overlap,
+    /// An operand exceeds the architectural address width.
+    AddrTooWide(PhysAddr),
+}
+
+impl std::fmt::Display for IsaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IsaError::UnalignedDest(a) => write!(f, "MCLAZY destination {a} not 64B aligned"),
+            IsaError::BadSize(s) => write!(f, "MCLAZY size {s} not a positive multiple of 64"),
+            IsaError::Overlap => write!(f, "MCLAZY source and destination overlap"),
+            IsaError::AddrTooWide(a) => write!(f, "address {a} exceeds {ADDR_BITS} bits"),
+        }
+    }
+}
+
+impl std::error::Error for IsaError {}
+
+fn check_addr(a: PhysAddr) -> Result<(), IsaError> {
+    if a.0 >> ADDR_BITS != 0 {
+        return Err(IsaError::AddrTooWide(a));
+    }
+    Ok(())
+}
+
+/// Construct an `MCLAZY` uop, validating the §III-C operand rules.
+///
+/// # Errors
+/// Returns an [`IsaError`] describing the violated constraint.
+pub fn mclazy(dst: PhysAddr, src: PhysAddr, size: u64, tag: StatTag) -> Result<Uop, IsaError> {
+    check_addr(dst)?;
+    check_addr(src)?;
+    if !dst.is_aligned(CACHELINE) {
+        return Err(IsaError::UnalignedDest(dst));
+    }
+    if size == 0 || size % CACHELINE != 0 || size >> SIZE_BITS != 0 {
+        return Err(IsaError::BadSize(size));
+    }
+    if dst.0 < src.0 + size && src.0 < dst.0 + size {
+        return Err(IsaError::Overlap);
+    }
+    Ok(Uop::new(UopKind::Mclazy { dst, src, size }, tag))
+}
+
+/// Construct an `MCFREE` uop.
+///
+/// # Errors
+/// Returns [`IsaError::BadSize`] for a zero size.
+pub fn mcfree(addr: PhysAddr, size: u64, tag: StatTag) -> Result<Uop, IsaError> {
+    check_addr(addr)?;
+    if size == 0 {
+        return Err(IsaError::BadSize(size));
+    }
+    Ok(Uop::new(UopKind::Mcfree { addr, size }, tag))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_mclazy() {
+        let u = mclazy(PhysAddr(0x1000), PhysAddr(0x2005), 128, StatTag::Memcpy).unwrap();
+        assert!(matches!(u.kind, UopKind::Mclazy { .. }));
+    }
+
+    #[test]
+    fn rejects_unaligned_dest() {
+        assert_eq!(
+            mclazy(PhysAddr(0x1001), PhysAddr(0x2000), 64, StatTag::Memcpy),
+            Err(IsaError::UnalignedDest(PhysAddr(0x1001)))
+        );
+    }
+
+    #[test]
+    fn rejects_bad_sizes() {
+        assert!(matches!(
+            mclazy(PhysAddr(0x1000), PhysAddr(0x2000), 100, StatTag::Memcpy),
+            Err(IsaError::BadSize(100))
+        ));
+        assert!(matches!(
+            mclazy(PhysAddr(0x1000), PhysAddr(0x800000), 0, StatTag::Memcpy),
+            Err(IsaError::BadSize(0))
+        ));
+        // Larger than the 21-bit size field (2 MB).
+        assert!(matches!(
+            mclazy(PhysAddr(0x40000000), PhysAddr(0x2000), 4 << 20, StatTag::Memcpy),
+            Err(IsaError::BadSize(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_overlap() {
+        assert_eq!(
+            mclazy(PhysAddr(0x1000), PhysAddr(0x1040), 128, StatTag::Memcpy),
+            Err(IsaError::Overlap)
+        );
+    }
+
+    #[test]
+    fn rejects_wide_addresses() {
+        let wide = PhysAddr(1 << 53);
+        assert!(matches!(
+            mclazy(wide, PhysAddr(0), 64, StatTag::Memcpy),
+            Err(IsaError::AddrTooWide(_))
+        ));
+    }
+
+    #[test]
+    fn mcfree_validation() {
+        assert!(mcfree(PhysAddr(0x1234), 100, StatTag::App).is_ok());
+        assert!(mcfree(PhysAddr(0x1234), 0, StatTag::App).is_err());
+    }
+}

@@ -1,0 +1,26 @@
+//! # mcs-os — kernel model substrate
+//!
+//! The (MC)² paper's kernel experiments (§V-B) run on a modified Linux
+//! 5.7: huge-page copy-on-write faults served by `MCLAZY` (Fig. 18) and
+//! pipes whose `pipe_read`/`pipe_write` use lazy copies (Fig. 19). This
+//! crate is the model of those kernel facilities that the reproduction
+//! runs on:
+//!
+//! * [`vm`] — page tables, `fork`, copy-on-write fault handling at 4 KB
+//!   and 2 MB granularity (eager or MCLAZY copy modes), frame reference
+//!   counting;
+//! * [`pipe`] — a kernel pipe ring buffer with eager or lazy copies;
+//! * [`costs`] — trap/syscall/TLB cycle charges.
+//!
+//! Kernel activity is expressed as uop sequences tagged
+//! [`mcs_sim::uop::StatTag::Kernel`], spliced into the faulting program's
+//! instruction stream exactly where the trap would occur — fault plans are
+//! synchronous in program order, like the real handler.
+
+pub mod costs;
+pub mod pipe;
+pub mod vm;
+
+pub use costs::OsCosts;
+pub use pipe::{CopyMode, Pipe};
+pub use vm::{CowCopyMode, Kernel, PageSize, VirtAddr, Vm};

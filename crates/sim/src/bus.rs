@@ -1,0 +1,115 @@
+//! The memory interconnect: routes packets between the LLC and the memory
+//! controllers, and between memory controllers (bounces and CTT traffic).
+//!
+//! Modelled as a crossbar with a fixed per-hop latency and per-destination
+//! FIFO ordering — the property §III-B1 relies on so that source-line
+//! writebacks reach a controller before the MCLAZY packet that follows
+//! them. Bandwidth is not modelled on the interconnect itself; the DRAM
+//! data bus is the bandwidth bottleneck in every experiment.
+
+use crate::link::DelayQueue;
+use crate::packet::{Node, Packet};
+use crate::Cycle;
+
+/// The interconnect fabric: one inbound FIFO per memory controller plus one
+/// toward the LLC.
+#[derive(Debug)]
+pub struct Bus {
+    /// Per-MC inbound queues (indexed by controller id).
+    pub to_mc: Vec<DelayQueue<Packet>>,
+    /// Inbound queue toward the LLC.
+    pub to_llc: DelayQueue<Packet>,
+}
+
+impl Bus {
+    /// Create a bus for `channels` memory controllers.
+    ///
+    /// `llc_mc` is the LLC↔MC latency; `mc_mc` the MC↔MC latency. Both are
+    /// applied on the receiving queue, so a packet's latency depends only
+    /// on its destination hop.
+    pub fn new(channels: usize, llc_mc: Cycle, mc_mc: Cycle) -> Bus {
+        // Packets into an MC may come from the LLC or another MC; a single
+        // per-MC queue keeps FIFO ordering between them. We use the larger
+        // of the two latencies conservatively for the shared queue.
+        let lat = llc_mc.max(mc_mc);
+        Bus {
+            to_mc: (0..channels).map(|_| DelayQueue::new(lat)).collect(),
+            to_llc: DelayQueue::new(llc_mc),
+        }
+    }
+
+    /// Route a packet to its destination queue at time `now`, with `extra`
+    /// cycles of additional delay.
+    pub fn send(&mut self, now: Cycle, pkt: Packet, extra: Cycle) {
+        match pkt.dest {
+            Node::Llc => self.to_llc.push_after(now, extra, pkt),
+            Node::Mc(i) => self.to_mc[i].push_after(now, extra, pkt),
+        }
+    }
+
+    /// Whether any packet is in flight.
+    pub fn busy(&self) -> bool {
+        !self.to_llc.is_empty() || self.to_mc.iter().any(|q| !q.is_empty())
+    }
+
+    /// Earliest delivery time of any in-flight packet (skip-ahead hint).
+    pub fn next_event(&self) -> Option<Cycle> {
+        let mut hint = self.to_llc.next_ready();
+        for q in &self.to_mc {
+            hint = match (hint, q.next_ready()) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+        }
+        hint
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::PhysAddr;
+    use crate::packet::Node;
+
+    #[test]
+    fn routes_by_destination() {
+        let mut bus = Bus::new(2, 10, 10);
+        bus.send(0, Packet::read(PhysAddr(0), Node::Mc(1)), 0);
+        bus.send(0, Packet::read(PhysAddr(64), Node::Llc), 0);
+        assert!(bus.to_mc[0].is_empty());
+        assert_eq!(bus.to_mc[1].len(), 1);
+        assert_eq!(bus.to_llc.len(), 1);
+    }
+
+    #[test]
+    fn latency_applied() {
+        let mut bus = Bus::new(1, 7, 7);
+        bus.send(0, Packet::read(PhysAddr(0), Node::Mc(0)), 0);
+        assert!(bus.to_mc[0].pop(6).is_none());
+        assert!(bus.to_mc[0].pop(7).is_some());
+    }
+
+    #[test]
+    fn fifo_per_destination_even_with_extra_delay() {
+        let mut bus = Bus::new(1, 1, 1);
+        let a = Packet::read(PhysAddr(0), Node::Mc(0));
+        let b = Packet::read(PhysAddr(64), Node::Mc(0));
+        let (ida, idb) = (a.id, b.id);
+        bus.send(0, a, 100);
+        bus.send(1, b, 0);
+        let first = bus.to_mc[0].pop(101).unwrap();
+        let second = bus.to_mc[0].pop(101).unwrap();
+        assert_eq!(first.id, ida);
+        assert_eq!(second.id, idb);
+    }
+
+    #[test]
+    fn busy_and_next_event() {
+        let mut bus = Bus::new(1, 3, 3);
+        assert!(!bus.busy());
+        assert_eq!(bus.next_event(), None);
+        bus.send(5, Packet::read(PhysAddr(0), Node::Llc), 0);
+        assert!(bus.busy());
+        assert_eq!(bus.next_event(), Some(8));
+    }
+}

@@ -1,0 +1,702 @@
+//! Private L1 data cache controller.
+//!
+//! Writeback, write-allocate, MSI states (I implicit, S, M), per-line MSHRs
+//! with request merging, and a stride prefetcher. Stores require ownership
+//! (read-for-ownership on miss); non-temporal stores bypass the cache
+//! entirely.
+
+use super::array::CacheArray;
+use super::prefetch::StridePrefetcher;
+use super::{CoreToL1, L1ToCore, L1ToLlc, LlcToL1, ServiceLevel};
+use crate::addr::PhysAddr;
+use crate::config::CacheConfig;
+use crate::data::LineData;
+use crate::stats::CacheStats;
+use crate::uop::UopId;
+use crate::Cycle;
+use std::collections::HashMap;
+
+/// L1 line state.
+#[derive(Debug, Clone)]
+struct L1Line {
+    data: LineData,
+    /// Shared (false) or Modified (true). Invalid = absent.
+    modified: bool,
+    /// Dirty with respect to the LLC (only meaningful while `modified`).
+    dirty: bool,
+    /// Installed by a prefetch and not yet demanded (for stats).
+    prefetched: bool,
+}
+
+/// A pending operation queued on an MSHR, in arrival order.
+#[derive(Debug, Clone)]
+enum PendingOp {
+    Load { id: UopId, off: usize, len: usize },
+    Store { id: UopId, off: usize, bytes: Vec<u8> },
+}
+
+#[derive(Debug)]
+struct Mshr {
+    /// Ownership requested (GetM in flight or required).
+    want_m: bool,
+    /// GetS already in flight; issue GetM after it returns.
+    upgrade_after: bool,
+    ops: Vec<PendingOp>,
+    prefetch_only: bool,
+}
+
+/// Outputs produced by L1 handlers in one call.
+#[derive(Debug, Default)]
+pub struct L1Out {
+    /// Responses to the core, with extra delay beyond the core↔L1 latency.
+    pub to_core: Vec<(L1ToCore, Cycle)>,
+    /// Messages to the LLC.
+    pub to_llc: Vec<L1ToLlc>,
+}
+
+/// One private L1 cache.
+#[derive(Debug)]
+pub struct L1 {
+    /// Owning core index.
+    pub id: usize,
+    cfg: CacheConfig,
+    array: CacheArray<L1Line>,
+    mshrs: HashMap<u64, Mshr>,
+    pf: StridePrefetcher,
+    /// Statistics.
+    pub stats: CacheStats,
+}
+
+impl L1 {
+    /// Create the L1 for core `id`.
+    pub fn new(id: usize, cfg: CacheConfig) -> L1 {
+        let sets = cfg.sets();
+        let pf = StridePrefetcher::new(cfg.prefetch, cfg.prefetch_degree);
+        L1 { id, cfg: cfg.clone(), array: CacheArray::new(sets, cfg.ways), mshrs: HashMap::new(), pf, stats: CacheStats::default() }
+    }
+
+    /// Hit latency in cycles.
+    pub fn hit_latency(&self) -> Cycle {
+        self.cfg.hit_latency
+    }
+
+    /// Whether the cache has in-flight transactions.
+    pub fn busy(&self) -> bool {
+        !self.mshrs.is_empty()
+    }
+
+    /// In-flight miss count (diagnostics).
+    pub fn mshr_count(&self) -> usize {
+        self.mshrs.len()
+    }
+
+    /// Handle a core request. Returns `false` (without consuming) if the
+    /// request cannot be accepted this cycle (MSHRs full); the caller
+    /// retries later.
+    pub fn handle_core(&mut self, _now: Cycle, msg: &CoreToL1, out: &mut L1Out) -> bool {
+        match msg {
+            CoreToL1::Load { id, addr, size } => self.load(*id, *addr, *size as usize, out),
+            CoreToL1::Store { id, addr, data, nontemporal } => {
+                if *nontemporal {
+                    self.nt_store(*id, *addr, data, out)
+                } else {
+                    self.store(*id, *addr, data.clone(), out)
+                }
+            }
+            CoreToL1::Clwb { id, addr } => {
+                self.clwb(*id, *addr, out);
+                true
+            }
+            CoreToL1::WbRange { id, addr, size } => {
+                self.wb_range(*id, *addr, *size, out);
+                true
+            }
+            CoreToL1::Mclazy { id, desc } => {
+                // The snoop (writeback of dirty source lines, invalidation
+                // of destination lines across all caches) is performed by
+                // the system before this message is forwarded; see
+                // `System::snoop_mclazy`. The L1 only routes it onward.
+                out.to_llc.push(L1ToLlc::Mclazy { desc: *desc, id: *id, core: self.id });
+                true
+            }
+            CoreToL1::Mcfree { addr, size } => {
+                out.to_llc.push(L1ToLlc::Mcfree { addr: *addr, size: *size });
+                true
+            }
+        }
+    }
+
+    fn load(&mut self, id: UopId, addr: PhysAddr, size: usize, out: &mut L1Out) -> bool {
+        let line = addr.line_base();
+        let off = addr.line_off() as usize;
+        if let Some(l) = self.array.get_mut(line) {
+            // A pending store to this line (GetM in flight) does not block
+            // unrelated loads; program-order conflicts are filtered by the
+            // core's store buffer before the load is ever sent here.
+            self.stats.hits += 1;
+            if l.prefetched {
+                l.prefetched = false;
+                self.stats.prefetch_hits += 1;
+            }
+            let data = l.data.read(off, size).to_vec();
+            out.to_core.push((
+                L1ToCore::LoadDone { id, data, level: ServiceLevel::L1 },
+                self.cfg.hit_latency,
+            ));
+            return true;
+        }
+        // Miss: join or allocate an MSHR.
+        if let Some(m) = self.mshrs.get_mut(&line.0) {
+            m.ops.push(PendingOp::Load { id, off, len: size });
+            m.prefetch_only = false;
+            self.stats.misses += 1;
+            return true;
+        }
+        if self.mshrs.len() >= self.cfg.mshrs {
+            return false;
+        }
+        self.stats.misses += 1;
+        self.mshrs.insert(
+            line.0,
+            Mshr {
+                want_m: false,
+                upgrade_after: false,
+                ops: vec![PendingOp::Load { id, off, len: size }],
+                prefetch_only: false,
+            },
+        );
+        out.to_llc.push(L1ToLlc::GetS { line, core: self.id, prefetch: false });
+        self.issue_prefetches(line, out);
+        true
+    }
+
+    fn issue_prefetches(&mut self, line: PhysAddr, out: &mut L1Out) {
+        for p in self.pf.observe(line) {
+            if self.array.peek(p).is_some() || self.mshrs.contains_key(&p.0) {
+                continue;
+            }
+            if self.mshrs.len() >= self.cfg.mshrs {
+                break;
+            }
+            self.mshrs.insert(
+                p.0,
+                Mshr { want_m: false, upgrade_after: false, ops: Vec::new(), prefetch_only: true },
+            );
+            self.stats.prefetches_issued += 1;
+            out.to_llc.push(L1ToLlc::GetS { line: p, core: self.id, prefetch: true });
+        }
+    }
+
+    fn store(&mut self, id: UopId, addr: PhysAddr, bytes: Vec<u8>, out: &mut L1Out) -> bool {
+        let line = addr.line_base();
+        let off = addr.line_off() as usize;
+        if let Some(l) = self.array.get_mut(line) {
+            if l.modified {
+                self.stats.hits += 1;
+                l.data.write(off, &bytes);
+                l.dirty = true;
+                l.prefetched = false;
+                out.to_core.push((L1ToCore::StoreDone { id }, self.cfg.hit_latency));
+                return true;
+            }
+        }
+        // Need ownership (upgrade or full RFO miss).
+        if let Some(m) = self.mshrs.get_mut(&line.0) {
+            if !m.want_m {
+                // GetS in flight; upgrade once it lands.
+                m.upgrade_after = true;
+            }
+            m.ops.push(PendingOp::Store { id, off, bytes });
+            m.prefetch_only = false;
+            self.stats.misses += 1;
+            return true;
+        }
+        if self.mshrs.len() >= self.cfg.mshrs {
+            return false;
+        }
+        self.stats.misses += 1;
+        self.mshrs.insert(
+            line.0,
+            Mshr {
+                want_m: true,
+                upgrade_after: false,
+                ops: vec![PendingOp::Store { id, off, bytes }],
+                prefetch_only: false,
+            },
+        );
+        out.to_llc.push(L1ToLlc::GetM { line, core: self.id });
+        true
+    }
+
+    fn nt_store(&mut self, id: UopId, addr: PhysAddr, bytes: &[u8], out: &mut L1Out) -> bool {
+        let line = addr.line_base();
+        assert_eq!(addr.line_off(), 0, "NT stores must be line aligned");
+        assert_eq!(bytes.len() as u64, crate::addr::CACHELINE, "NT stores are full-line");
+        // Drop any local copy; the line's new value bypasses the caches.
+        if self.array.remove(line).is_some() {
+            self.stats.invalidations += 1;
+        }
+        let mut data = LineData::ZERO;
+        data.write(0, bytes);
+        out.to_llc.push(L1ToLlc::NtWrite { line, data, id, core: self.id });
+        true
+    }
+
+    fn wb_range(&mut self, id: UopId, addr: PhysAddr, size: u64, out: &mut L1Out) {
+        // Collect and clean all dirty lines in the range in one pass (the
+        // §V-A1 wide-writeback instruction); the LLC adds its own and
+        // forwards everything to memory.
+        let mut dirty = Vec::new();
+        for line in crate::addr::lines_of(addr, size) {
+            if let Some(l) = self.array.peek_mut(line) {
+                if l.modified && l.dirty {
+                    l.dirty = false;
+                    dirty.push((line, l.data));
+                }
+            }
+        }
+        out.to_llc.push(L1ToLlc::WbRange { addr, size, dirty, id, core: self.id });
+    }
+
+    fn clwb(&mut self, id: UopId, addr: PhysAddr, out: &mut L1Out) {
+        let line = addr.line_base();
+        let data = match self.array.peek_mut(line) {
+            Some(l) if l.modified && l.dirty => {
+                l.dirty = false;
+                Some(l.data)
+            }
+            _ => None,
+        };
+        out.to_llc.push(L1ToLlc::Clwb { line, data, id, core: self.id });
+    }
+
+    /// Handle a message from the LLC.
+    pub fn handle_llc(&mut self, _now: Cycle, msg: LlcToL1, out: &mut L1Out) {
+        match msg {
+            LlcToL1::Data { line, data, excl, level } => self.fill(line, data, excl, level, out),
+            LlcToL1::Inval { line } => {
+                let data = match self.array.remove(line) {
+                    Some(l) if l.modified && l.dirty => Some(l.data),
+                    _ => None,
+                };
+                self.stats.invalidations += 1;
+                out.to_llc.push(L1ToLlc::RecallAck { line, data, core: self.id });
+            }
+            LlcToL1::Recall { line, inval } => {
+                let data = if inval {
+                    match self.array.remove(line) {
+                        Some(l) if l.modified && l.dirty => Some(l.data),
+                        _ => None,
+                    }
+                } else {
+                    match self.array.peek_mut(line) {
+                        Some(l) if l.modified => {
+                            let d = if l.dirty { Some(l.data) } else { None };
+                            l.modified = false;
+                            l.dirty = false;
+                            d
+                        }
+                        _ => None,
+                    }
+                };
+                out.to_llc.push(L1ToLlc::RecallAck { line, data, core: self.id });
+            }
+            LlcToL1::ClwbAck { id } => out.to_core.push((L1ToCore::ClwbDone { id }, 0)),
+            LlcToL1::NtAck { id } => out.to_core.push((L1ToCore::NtDone { id }, 0)),
+            LlcToL1::MclazyAck { id } => out.to_core.push((L1ToCore::MclazyDone { id }, 0)),
+        }
+    }
+
+    fn fill(
+        &mut self,
+        line: PhysAddr,
+        data: LineData,
+        excl: bool,
+        level: ServiceLevel,
+        out: &mut L1Out,
+    ) {
+        let Some(mut m) = self.mshrs.remove(&line.0) else {
+            // Response to a transaction we no longer track (e.g. the line
+            // was invalidated by an MCLAZY snoop while the fill was in
+            // flight). Drop it: re-reading will miss and refetch.
+            return;
+        };
+        if m.upgrade_after && !excl {
+            // We asked for S but a store arrived meanwhile: take the data
+            // for the loads, then upgrade.
+            let mut mdata = data;
+            m.ops.retain(|op| match op {
+                PendingOp::Load { id, off, len } => {
+                    out.to_core.push((
+                        L1ToCore::LoadDone {
+                            id: *id,
+                            data: mdata.read(*off, *len).to_vec(),
+                            level,
+                        },
+                        self.cfg.hit_latency,
+                    ));
+                    false
+                }
+                PendingOp::Store { .. } => true,
+            });
+            let _ = &mut mdata;
+            m.want_m = true;
+            m.upgrade_after = false;
+            self.mshrs.insert(line.0, m);
+            out.to_llc.push(L1ToLlc::GetM { line, core: self.id });
+            return;
+        }
+
+        // Install the line (evicting if needed). An ownership upgrade
+        // (store to a line held in S) finds the line already resident:
+        // update it in place with the authoritative data.
+        if let Some(existing) = self.array.peek_mut(line) {
+            existing.data = data;
+            existing.modified = excl;
+            let mut l = std::mem::replace(
+                existing,
+                L1Line { data, modified: excl, dirty: false, prefetched: false },
+            );
+            for op in &m.ops {
+                match op {
+                    PendingOp::Load { id, off, len } => {
+                        out.to_core.push((
+                            L1ToCore::LoadDone {
+                                id: *id,
+                                data: l.data.read(*off, *len).to_vec(),
+                                level,
+                            },
+                            self.cfg.hit_latency,
+                        ));
+                    }
+                    PendingOp::Store { id, off, bytes } => {
+                        debug_assert!(excl, "store served without ownership");
+                        l.data.write(*off, bytes);
+                        l.dirty = true;
+                        out.to_core.push((L1ToCore::StoreDone { id: *id }, self.cfg.hit_latency));
+                    }
+                }
+            }
+            *self.array.peek_mut(line).expect("still resident") = l;
+            return;
+        }
+        self.make_room(line, out);
+        let mut l = L1Line { data, modified: excl, dirty: false, prefetched: m.prefetch_only };
+        // Apply queued ops in order.
+        for op in &m.ops {
+            match op {
+                PendingOp::Load { id, off, len } => {
+                    out.to_core.push((
+                        L1ToCore::LoadDone {
+                            id: *id,
+                            data: l.data.read(*off, *len).to_vec(),
+                            level,
+                        },
+                        self.cfg.hit_latency,
+                    ));
+                }
+                PendingOp::Store { id, off, bytes } => {
+                    debug_assert!(excl, "store served without ownership");
+                    l.data.write(*off, bytes);
+                    l.dirty = true;
+                    l.prefetched = false;
+                    out.to_core.push((L1ToCore::StoreDone { id: *id }, self.cfg.hit_latency));
+                }
+            }
+        }
+        self.array.insert(line, l);
+    }
+
+    fn make_room(&mut self, line: PhysAddr, out: &mut L1Out) {
+        if self.array.has_room(line) {
+            return;
+        }
+        let victim = self
+            .array
+            .victim(line, |_, _| false)
+            .expect("full set has a victim");
+        let v = self.array.remove(victim).expect("victim present");
+        self.stats.evictions += 1;
+        if v.modified && v.dirty {
+            self.stats.writebacks += 1;
+            out.to_llc.push(L1ToLlc::PutM { line: victim, data: v.data, core: self.id });
+        }
+        // Clean lines are dropped silently (the directory tolerates stale
+        // sharer bits).
+    }
+
+    /// Snoop support for MCLAZY (called by the system): write back the
+    /// line if dirty (returning the data) and mark it clean, keeping it
+    /// cached.
+    pub fn snoop_writeback(&mut self, line: PhysAddr) -> Option<LineData> {
+        match self.array.peek_mut(line) {
+            Some(l) if l.modified && l.dirty => {
+                l.dirty = false;
+                Some(l.data)
+            }
+            _ => None,
+        }
+    }
+
+    /// Snoop support for MCLAZY (called by the system): drop the line
+    /// (destination lines are about to be redefined by the lazy copy).
+    pub fn snoop_invalidate(&mut self, line: PhysAddr) {
+        if self.array.remove(line).is_some() {
+            self.stats.invalidations += 1;
+        }
+    }
+
+    /// Test/debug helper: peek at a cached line's data.
+    pub fn peek_line(&self, line: PhysAddr) -> Option<&LineData> {
+        self.array.peek(line).map(|l| &l.data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+
+    fn mk() -> L1 {
+        L1::new(0, SystemConfig::tiny().l1)
+    }
+
+    fn load(id: UopId, addr: u64, size: u8) -> CoreToL1 {
+        CoreToL1::Load { id, addr: PhysAddr(addr), size }
+    }
+
+    #[test]
+    fn miss_then_fill_serves_load() {
+        let mut l1 = mk();
+        let mut out = L1Out::default();
+        assert!(l1.handle_core(0, &load(1, 0x100, 8), &mut out));
+        assert!(matches!(out.to_llc[0], L1ToLlc::GetS { .. }));
+        assert!(out.to_core.is_empty());
+
+        let mut out = L1Out::default();
+        l1.handle_llc(
+            10,
+            LlcToL1::Data {
+                line: PhysAddr(0x100),
+                data: LineData::splat(5),
+                excl: false,
+                level: ServiceLevel::Llc,
+            },
+            &mut out,
+        );
+        match &out.to_core[0].0 {
+            L1ToCore::LoadDone { id, data, .. } => {
+                assert_eq!(*id, 1);
+                assert_eq!(data, &vec![5u8; 8]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(l1.stats.misses, 1);
+    }
+
+    #[test]
+    fn hit_after_fill() {
+        let mut l1 = mk();
+        let mut out = L1Out::default();
+        l1.handle_core(0, &load(1, 0x100, 8), &mut out);
+        l1.handle_llc(
+            1,
+            LlcToL1::Data {
+                line: PhysAddr(0x100),
+                data: LineData::splat(5),
+                excl: false,
+                level: ServiceLevel::Llc,
+            },
+            &mut out,
+        );
+        let mut out = L1Out::default();
+        l1.handle_core(2, &load(2, 0x108, 4), &mut out);
+        assert_eq!(l1.stats.hits, 1);
+        assert!(matches!(&out.to_core[0].0, L1ToCore::LoadDone { id: 2, .. }));
+    }
+
+    #[test]
+    fn store_miss_issues_getm_and_applies_on_fill() {
+        let mut l1 = mk();
+        let mut out = L1Out::default();
+        let st = CoreToL1::Store { id: 3, addr: PhysAddr(0x40), data: vec![9, 9], nontemporal: false };
+        assert!(l1.handle_core(0, &st, &mut out));
+        assert!(matches!(out.to_llc[0], L1ToLlc::GetM { .. }));
+
+        let mut out = L1Out::default();
+        l1.handle_llc(
+            5,
+            LlcToL1::Data {
+                line: PhysAddr(0x40),
+                data: LineData::splat(1),
+                excl: true,
+                level: ServiceLevel::Mem,
+            },
+            &mut out,
+        );
+        assert!(matches!(&out.to_core[0].0, L1ToCore::StoreDone { id: 3 }));
+        let line = l1.peek_line(PhysAddr(0x40)).unwrap();
+        assert_eq!(line.read(0, 3), &[9, 9, 1]);
+    }
+
+    #[test]
+    fn store_hit_in_m_is_local() {
+        let mut l1 = mk();
+        let mut out = L1Out::default();
+        l1.handle_core(0, &CoreToL1::Store { id: 1, addr: PhysAddr(0x40), data: vec![1], nontemporal: false }, &mut out);
+        l1.handle_llc(
+            1,
+            LlcToL1::Data { line: PhysAddr(0x40), data: LineData::ZERO, excl: true, level: ServiceLevel::Llc },
+            &mut out,
+        );
+        let mut out = L1Out::default();
+        l1.handle_core(2, &CoreToL1::Store { id: 2, addr: PhysAddr(0x41), data: vec![2], nontemporal: false }, &mut out);
+        assert!(out.to_llc.is_empty(), "M hit needs no LLC traffic");
+        assert!(matches!(&out.to_core[0].0, L1ToCore::StoreDone { id: 2 }));
+    }
+
+    #[test]
+    fn clwb_sends_dirty_data_and_cleans() {
+        let mut l1 = mk();
+        let mut out = L1Out::default();
+        l1.handle_core(0, &CoreToL1::Store { id: 1, addr: PhysAddr(0x40), data: vec![7], nontemporal: false }, &mut out);
+        l1.handle_llc(
+            1,
+            LlcToL1::Data { line: PhysAddr(0x40), data: LineData::ZERO, excl: true, level: ServiceLevel::Llc },
+            &mut out,
+        );
+        let mut out = L1Out::default();
+        l1.handle_core(2, &CoreToL1::Clwb { id: 9, addr: PhysAddr(0x47) }, &mut out);
+        match &out.to_llc[0] {
+            L1ToLlc::Clwb { data: Some(d), id: 9, .. } => assert_eq!(d.read(0, 1), &[7]),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Second CLWB finds it clean.
+        let mut out = L1Out::default();
+        l1.handle_core(3, &CoreToL1::Clwb { id: 10, addr: PhysAddr(0x40) }, &mut out);
+        assert!(matches!(&out.to_llc[0], L1ToLlc::Clwb { data: None, .. }));
+    }
+
+    #[test]
+    fn nt_store_bypasses_and_invalidates() {
+        let mut l1 = mk();
+        let mut out = L1Out::default();
+        // Prime the line.
+        l1.handle_core(0, &load(1, 0x80, 8), &mut out);
+        l1.handle_llc(
+            1,
+            LlcToL1::Data { line: PhysAddr(0x80), data: LineData::ZERO, excl: false, level: ServiceLevel::Llc },
+            &mut out,
+        );
+        let mut out = L1Out::default();
+        let nt = CoreToL1::Store { id: 5, addr: PhysAddr(0x80), data: vec![3u8; 64], nontemporal: true };
+        l1.handle_core(2, &nt, &mut out);
+        assert!(l1.peek_line(PhysAddr(0x80)).is_none(), "local copy dropped");
+        assert!(matches!(&out.to_llc[0], L1ToLlc::NtWrite { .. }));
+    }
+
+    #[test]
+    fn eviction_writes_back_dirty() {
+        let mut l1 = mk(); // tiny: 1KB, 2-way, 8 sets
+        let mut out = L1Out::default();
+        // Fill set 0 with two dirty lines, then fill a third.
+        for (i, addr) in [0u64, 8 * 64, 16 * 64].iter().enumerate() {
+            l1.handle_core(
+                0,
+                &CoreToL1::Store { id: i as u64, addr: PhysAddr(*addr), data: vec![i as u8], nontemporal: false },
+                &mut out,
+            );
+            l1.handle_llc(
+                1,
+                LlcToL1::Data { line: PhysAddr(*addr), data: LineData::ZERO, excl: true, level: ServiceLevel::Llc },
+                &mut out,
+            );
+        }
+        assert!(out.to_llc.iter().any(|m| matches!(m, L1ToLlc::PutM { .. })), "dirty eviction writes back");
+        assert_eq!(l1.stats.evictions, 1);
+    }
+
+    #[test]
+    fn recall_downgrade_returns_dirty_data() {
+        let mut l1 = mk();
+        let mut out = L1Out::default();
+        l1.handle_core(0, &CoreToL1::Store { id: 1, addr: PhysAddr(0x40), data: vec![7], nontemporal: false }, &mut out);
+        l1.handle_llc(
+            1,
+            LlcToL1::Data { line: PhysAddr(0x40), data: LineData::ZERO, excl: true, level: ServiceLevel::Llc },
+            &mut out,
+        );
+        let mut out = L1Out::default();
+        l1.handle_llc(2, LlcToL1::Recall { line: PhysAddr(0x40), inval: false }, &mut out);
+        match &out.to_llc[0] {
+            L1ToLlc::RecallAck { data: Some(d), .. } => assert_eq!(d.read(0, 1), &[7]),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Line retained in S: a load still hits.
+        let mut out = L1Out::default();
+        l1.handle_core(3, &load(4, 0x40, 1), &mut out);
+        assert_eq!(l1.stats.hits, 1);
+    }
+
+    #[test]
+    fn mshr_exhaustion_backpressures() {
+        let mut l1 = mk(); // tiny mshrs = 4
+        let mut out = L1Out::default();
+        for i in 0..4u64 {
+            assert!(l1.handle_core(0, &load(i, i * 64, 1), &mut out));
+        }
+        assert!(!l1.handle_core(0, &load(9, 9 * 64, 1), &mut out), "5th miss must be rejected");
+    }
+
+    #[test]
+    fn wb_range_collects_only_dirty_lines() {
+        let mut l1 = mk();
+        let mut out = L1Out::default();
+        // Dirty line at 0x40, clean (shared) line at 0x80.
+        l1.handle_core(0, &CoreToL1::Store { id: 1, addr: PhysAddr(0x40), data: vec![7], nontemporal: false }, &mut out);
+        l1.handle_llc(
+            1,
+            LlcToL1::Data { line: PhysAddr(0x40), data: LineData::ZERO, excl: true, level: ServiceLevel::Llc },
+            &mut out,
+        );
+        l1.handle_core(2, &load(2, 0x80, 8), &mut out);
+        l1.handle_llc(
+            3,
+            LlcToL1::Data { line: PhysAddr(0x80), data: LineData::splat(5), excl: false, level: ServiceLevel::Llc },
+            &mut out,
+        );
+        let mut out = L1Out::default();
+        l1.handle_core(4, &CoreToL1::WbRange { id: 9, addr: PhysAddr(0x40), size: 128 }, &mut out);
+        match &out.to_llc[0] {
+            L1ToLlc::WbRange { dirty, id: 9, .. } => {
+                assert_eq!(dirty.len(), 1, "only the dirty line rides along");
+                assert_eq!(dirty[0].0, PhysAddr(0x40));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Line is clean now: a second pass collects nothing.
+        let mut out = L1Out::default();
+        l1.handle_core(5, &CoreToL1::WbRange { id: 10, addr: PhysAddr(0x40), size: 128 }, &mut out);
+        match &out.to_llc[0] {
+            L1ToLlc::WbRange { dirty, .. } => assert!(dirty.is_empty()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn snoop_invalidate_and_writeback() {
+        let mut l1 = mk();
+        let mut out = L1Out::default();
+        l1.handle_core(0, &CoreToL1::Store { id: 1, addr: PhysAddr(0x40), data: vec![7], nontemporal: false }, &mut out);
+        l1.handle_llc(
+            1,
+            LlcToL1::Data { line: PhysAddr(0x40), data: LineData::ZERO, excl: true, level: ServiceLevel::Llc },
+            &mut out,
+        );
+        let wb = l1.snoop_writeback(PhysAddr(0x40)).expect("dirty");
+        assert_eq!(wb.read(0, 1), &[7]);
+        assert!(l1.snoop_writeback(PhysAddr(0x40)).is_none(), "now clean");
+        l1.snoop_invalidate(PhysAddr(0x40));
+        assert!(l1.peek_line(PhysAddr(0x40)).is_none());
+    }
+}

@@ -1,0 +1,286 @@
+//! Simulation configuration.
+//!
+//! [`SystemConfig::table1`] reproduces the paper's Table I: 8 CPUs at 4 GHz,
+//! 64 KB private L1s with stride prefetchers, a shared 2 MB LLC, two DDR4
+//! channels, a 2048-entry CTT (0.79 ns lookup) and an 8-entry BPQ. All
+//! latency parameters are expressed in CPU cycles at 4 GHz (1 cycle =
+//! 0.25 ns).
+
+use serde::{Deserialize, Serialize};
+
+/// CPU core model parameters.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreConfig {
+    /// Reorder-buffer capacity (in-flight uops).
+    pub rob_size: usize,
+    /// Uops dispatched per cycle.
+    pub dispatch_width: usize,
+    /// Uops retired per cycle.
+    pub retire_width: usize,
+    /// Load-queue capacity (outstanding loads).
+    pub lq_size: usize,
+    /// Store-buffer capacity (retired stores not yet in the cache).
+    pub sb_size: usize,
+    /// Maximum outstanding CLWB writebacks. This is the resource whose
+    /// exhaustion serialises `memcpy_lazy`'s writebacks above 1 KB (Fig. 11:
+    /// 1 KB = 16 cachelines).
+    pub max_clwb: usize,
+    /// Maximum outstanding MCLAZY packets (they proceed in parallel like
+    /// CLFLUSHOPT, §III-C).
+    pub max_mclazy: usize,
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        CoreConfig {
+            rob_size: 224,
+            dispatch_width: 4,
+            retire_width: 4,
+            lq_size: 32,
+            sb_size: 56,
+            max_clwb: 16,
+            max_mclazy: 8,
+        }
+    }
+}
+
+/// Parameters of one cache level.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// Access (hit) latency in cycles.
+    pub hit_latency: u64,
+    /// Miss-status-holding registers: outstanding misses.
+    pub mshrs: usize,
+    /// Stride prefetcher enabled (Table I: both levels use one).
+    pub prefetch: bool,
+    /// Prefetch degree: lines fetched ahead once a stride locks on.
+    pub prefetch_degree: usize,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by size/ways and the 64B line.
+    pub fn sets(&self) -> usize {
+        (self.size_bytes / crate::addr::CACHELINE) as usize / self.ways
+    }
+}
+
+/// DRAM timing and geometry for one channel, expressed in CPU cycles.
+///
+/// Defaults approximate DDR4-2400 at a 4 GHz CPU clock: tRCD = tRP = tCL ≈
+/// 13.75 ns ≈ 55 cycles, 64B burst ≈ 3.33 ns ≈ 13 cycles (19.2 GB/s per
+/// channel).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DramConfig {
+    /// Banks per channel.
+    pub banks: usize,
+    /// Row size in bytes (per bank).
+    pub row_bytes: u64,
+    /// Activate-to-CAS delay (row miss adder), cycles.
+    pub t_rcd: u64,
+    /// Precharge delay (row conflict adder), cycles.
+    pub t_rp: u64,
+    /// CAS latency, cycles.
+    pub t_cl: u64,
+    /// Data-burst occupancy of the channel per 64B access, cycles. This is
+    /// the per-channel bandwidth cap.
+    pub t_burst: u64,
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        DramConfig {
+            banks: 16,
+            row_bytes: 8192,
+            t_rcd: 55,
+            t_rp: 55,
+            t_cl: 55,
+            t_burst: 13,
+        }
+    }
+}
+
+/// Memory-controller queueing parameters.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct McConfig {
+    /// Read pending queue capacity.
+    pub rpq_cap: usize,
+    /// Write pending queue capacity.
+    pub wpq_cap: usize,
+    /// Drain writes once WPQ occupancy exceeds this fraction.
+    pub wpq_drain_hi: f64,
+    /// Stop draining once occupancy falls below this fraction.
+    pub wpq_drain_lo: f64,
+}
+
+impl Default for McConfig {
+    fn default() -> Self {
+        McConfig { rpq_cap: 32, wpq_cap: 64, wpq_drain_hi: 0.7, wpq_drain_lo: 0.3 }
+    }
+}
+
+/// Interconnect latencies (one-way, cycles).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkConfig {
+    /// Core ↔ L1.
+    pub core_l1: u64,
+    /// L1 ↔ LLC.
+    pub l1_llc: u64,
+    /// LLC ↔ memory controller (the memory interconnect hop).
+    pub llc_mc: u64,
+    /// MC ↔ MC (bounces and CTT broadcasts traverse the same interconnect).
+    pub mc_mc: u64,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig { core_l1: 1, l1_llc: 12, llc_mc: 40, mc_mc: 40 }
+    }
+}
+
+/// Full system configuration.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Number of CPU cores (each runs one program).
+    pub cores: usize,
+    /// Core model.
+    pub core: CoreConfig,
+    /// Private L1 data cache.
+    pub l1: CacheConfig,
+    /// Shared last-level cache (the paper's "Shared L2").
+    pub llc: CacheConfig,
+    /// Number of memory channels / controllers.
+    pub channels: usize,
+    /// DRAM timing per channel.
+    pub dram: DramConfig,
+    /// Memory-controller queues.
+    pub mc: McConfig,
+    /// Link latencies.
+    pub links: LinkConfig,
+    /// CTT lookup latency in cycles, added to a bounced destination read
+    /// (paper: 0.79 ns ≈ 3.16 cycles at 4 GHz; we round up to 4).
+    pub ctt_latency: u64,
+}
+
+impl SystemConfig {
+    /// The paper's Table I configuration.
+    pub fn table1() -> SystemConfig {
+        SystemConfig {
+            cores: 8,
+            core: CoreConfig::default(),
+            l1: CacheConfig {
+                size_bytes: 64 * 1024,
+                ways: 8,
+                hit_latency: 4,
+                // Fill buffers + superqueue: enough outstanding misses to
+                // cover the DRAM round trip at streaming bandwidth.
+                mshrs: 24,
+                prefetch: true,
+                prefetch_degree: 8,
+            },
+            llc: CacheConfig {
+                size_bytes: 2 * 1024 * 1024,
+                ways: 16,
+                hit_latency: 35,
+                mshrs: 48,
+                prefetch: true,
+                prefetch_degree: 8,
+            },
+            channels: 2,
+            dram: DramConfig::default(),
+            mc: McConfig { rpq_cap: 48, ..McConfig::default() },
+            links: LinkConfig::default(),
+            ctt_latency: 4,
+        }
+    }
+
+    /// A single-core variant of Table I (most microbenchmarks are
+    /// single-threaded).
+    pub fn table1_one_core() -> SystemConfig {
+        SystemConfig { cores: 1, ..SystemConfig::table1() }
+    }
+
+    /// A tiny configuration for fast unit tests: small caches so evictions
+    /// and misses occur quickly, short latencies so tests run in few cycles.
+    pub fn tiny() -> SystemConfig {
+        SystemConfig {
+            cores: 1,
+            core: CoreConfig {
+                rob_size: 16,
+                dispatch_width: 2,
+                retire_width: 2,
+                lq_size: 4,
+                sb_size: 4,
+                max_clwb: 4,
+                max_mclazy: 2,
+            },
+            l1: CacheConfig {
+                size_bytes: 1024,
+                ways: 2,
+                hit_latency: 1,
+                mshrs: 4,
+                prefetch: false,
+                prefetch_degree: 0,
+            },
+            llc: CacheConfig {
+                size_bytes: 4096,
+                ways: 4,
+                hit_latency: 4,
+                mshrs: 8,
+                prefetch: false,
+                prefetch_degree: 0,
+            },
+            channels: 2,
+            dram: DramConfig { banks: 4, row_bytes: 1024, t_rcd: 6, t_rp: 6, t_cl: 6, t_burst: 2 },
+            mc: McConfig { rpq_cap: 8, wpq_cap: 8, wpq_drain_hi: 0.7, wpq_drain_lo: 0.2 },
+            links: LinkConfig { core_l1: 1, l1_llc: 2, llc_mc: 4, mc_mc: 4 },
+            ctt_latency: 1,
+        }
+    }
+
+    /// Approximate total memory bandwidth in bytes per cycle (all channels).
+    pub fn peak_bw_bytes_per_cycle(&self) -> f64 {
+        self.channels as f64 * crate::addr::CACHELINE as f64 / self.dram.t_burst as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper() {
+        let c = SystemConfig::table1();
+        assert_eq!(c.cores, 8);
+        assert_eq!(c.l1.size_bytes, 64 * 1024);
+        assert_eq!(c.llc.size_bytes, 2 * 1024 * 1024);
+        assert_eq!(c.channels, 2);
+        assert!(c.l1.prefetch && c.llc.prefetch);
+    }
+
+    #[test]
+    fn cache_geometry() {
+        let c = SystemConfig::table1();
+        assert_eq!(c.l1.sets(), 128); // 64KB / 64B / 8 ways
+        assert_eq!(c.llc.sets(), 2048); // 2MB / 64B / 16 ways
+    }
+
+    #[test]
+    fn bandwidth_is_plausible() {
+        let c = SystemConfig::table1();
+        // 2 channels * 64B / 13cy * 4GHz ≈ 39 GB/s
+        let bw_gbs = c.peak_bw_bytes_per_cycle() * 4.0;
+        assert!(bw_gbs > 30.0 && bw_gbs < 50.0, "bw {bw_gbs}");
+    }
+
+    #[test]
+    fn configs_are_serializable() {
+        fn assert_serde<T: serde::Serialize + serde::de::DeserializeOwned>() {}
+        assert_serde::<SystemConfig>();
+        assert_serde::<DramConfig>();
+        assert_serde::<CoreConfig>();
+    }
+}

@@ -1,0 +1,497 @@
+//! Memory controller: read/write pending queues, FR-FCFS-style scheduling,
+//! write-drain watermarks, WPQ read forwarding, and the [`CopyEngine`] hook.
+
+use crate::config::McConfig;
+use crate::data::{LineData, SparseMem};
+use crate::dram::{DramChannel, RowOutcome};
+use crate::engine::{CopyEngine, EngineIo, Verdict};
+use crate::link::DelayQueue;
+use crate::packet::{MemCmd, Packet};
+use crate::stats::McStats;
+use crate::addr::PhysAddr;
+use crate::Cycle;
+use std::collections::VecDeque;
+
+/// Who asked for a DRAM read.
+#[derive(Debug, Clone)]
+enum ReadOrigin {
+    /// A cache read: respond to the LLC with this request packet.
+    Llc(Packet),
+    /// An engine read with the engine's tag.
+    Engine(u64),
+}
+
+#[derive(Debug)]
+struct RpqEntry {
+    addr: PhysAddr,
+    origin: ReadOrigin,
+    enq: Cycle,
+}
+
+#[derive(Debug)]
+struct WpqEntry {
+    addr: PhysAddr,
+    data: LineData,
+}
+
+#[derive(Debug)]
+struct Inflight {
+    done: Cycle,
+    addr: PhysAddr,
+    kind: InflightKind,
+}
+
+#[derive(Debug)]
+enum InflightKind {
+    Read(ReadOrigin),
+    Write,
+}
+
+/// One memory controller, fronting one DRAM channel.
+#[derive(Debug)]
+pub struct MemCtrl {
+    /// Controller index (== channel index).
+    pub id: usize,
+    cfg: McConfig,
+    dram: DramChannel,
+    rpq: VecDeque<RpqEntry>,
+    wpq: VecDeque<WpqEntry>,
+    inflight: Vec<Inflight>,
+    /// Packets the engine asked to retry; reprocessed before new input so
+    /// a blocked MCLAZY never head-of-line-blocks engine-critical traffic.
+    retry_q: VecDeque<Packet>,
+    /// Engine reads satisfied by WPQ forwarding, delivered next tick.
+    engine_fwd: Vec<(u64, PhysAddr, LineData)>,
+    draining: bool,
+    /// Statistics.
+    pub stats: McStats,
+}
+
+/// How many input packets a controller accepts per cycle.
+const INPUT_PER_CYCLE: usize = 4;
+
+impl MemCtrl {
+    /// Create controller `id` with the given queue config and channel model.
+    pub fn new(id: usize, cfg: McConfig, dram: DramChannel) -> MemCtrl {
+        MemCtrl {
+            id,
+            cfg,
+            dram,
+            rpq: VecDeque::new(),
+            wpq: VecDeque::new(),
+            inflight: Vec::new(),
+            retry_q: VecDeque::new(),
+            engine_fwd: Vec::new(),
+            draining: false,
+            stats: McStats::default(),
+        }
+    }
+
+    /// Whether the controller has no queued or in-flight work.
+    pub fn idle(&self) -> bool {
+        self.rpq.is_empty()
+            && self.wpq.is_empty()
+            && self.inflight.is_empty()
+            && self.retry_q.is_empty()
+            && self.engine_fwd.is_empty()
+    }
+
+    /// Earliest future event (skip-ahead hint).
+    pub fn next_event(&self) -> Option<Cycle> {
+        if !self.retry_q.is_empty() || !self.engine_fwd.is_empty() {
+            return Some(0); // work every cycle until drained
+        }
+        let mut hint = self.inflight.iter().map(|f| f.done).min();
+        if !self.rpq.is_empty() || !self.wpq.is_empty() {
+            let d = self.dram.next_ready();
+            hint = Some(hint.map_or(d, |h| h.min(d)));
+        }
+        hint
+    }
+
+    /// Current WPQ occupancy as (len, capacity).
+    pub fn wpq_occupancy(&self) -> (usize, usize) {
+        (self.wpq.len(), self.cfg.wpq_cap)
+    }
+
+    /// (rpq len, wpq len, in-flight DRAM accesses) — diagnostics.
+    pub fn queue_depths(&self) -> (usize, usize, usize) {
+        (self.rpq.len(), self.wpq.len(), self.inflight.len())
+    }
+
+    fn fresh_io(&self) -> EngineIo {
+        EngineIo { wpq: (self.wpq.len(), self.cfg.wpq_cap), ..EngineIo::default() }
+    }
+
+    fn apply_io(&mut self, now: Cycle, io: EngineIo, out: &mut Vec<(Packet, Cycle)>) {
+        for (tag, addr) in io.dram_reads {
+            self.stats.engine_reads += 1;
+            // WPQ forwarding applies to engine reads too: a pending write
+            // to the line is newer than DRAM contents.
+            if let Some(w) = self.wpq.iter().rev().find(|w| w.addr == addr) {
+                self.stats.wpq_forwards += 1;
+                self.engine_fwd.push((tag, addr, w.data));
+                continue;
+            }
+            self.rpq.push_back(RpqEntry { addr, origin: ReadOrigin::Engine(tag), enq: now });
+        }
+        for (addr, data) in io.dram_writes {
+            self.stats.engine_writes += 1;
+            self.wpq.push_back(WpqEntry { addr, data });
+        }
+        for send in io.sends {
+            out.push(send);
+        }
+    }
+
+    /// Advance one cycle.
+    ///
+    /// * `input` — packets arriving from the interconnect;
+    /// * `engine` — the copy engine shared across controllers;
+    /// * `mem` — the functional memory image;
+    /// * `out` — packets to hand back to the interconnect, with extra delay.
+    pub fn tick(
+        &mut self,
+        now: Cycle,
+        input: &mut DelayQueue<Packet>,
+        engine: &mut dyn CopyEngine,
+        mem: &mut SparseMem,
+        out: &mut Vec<(Packet, Cycle)>,
+    ) {
+        self.deliver_forwarded(now, engine, out);
+        self.complete_inflight(now, engine, mem, out);
+        self.engine_tick(now, engine, out);
+        self.accept_input(now, input, engine, out);
+        self.schedule_dram(now, mem);
+    }
+
+    fn deliver_forwarded(
+        &mut self,
+        now: Cycle,
+        engine: &mut dyn CopyEngine,
+        out: &mut Vec<(Packet, Cycle)>,
+    ) {
+        let fwd = std::mem::take(&mut self.engine_fwd);
+        for (tag, addr, data) in fwd {
+            let mut io = self.fresh_io();
+            engine.on_dram_read(now, self.id, tag, addr, data, &mut io);
+            self.apply_io(now, io, out);
+        }
+    }
+
+    fn complete_inflight(
+        &mut self,
+        now: Cycle,
+        engine: &mut dyn CopyEngine,
+        mem: &mut SparseMem,
+        out: &mut Vec<(Packet, Cycle)>,
+    ) {
+        let mut i = 0;
+        while i < self.inflight.len() {
+            if self.inflight[i].done <= now {
+                let f = self.inflight.swap_remove(i);
+                match f.kind {
+                    InflightKind::Read(origin) => {
+                        let data = mem.read_line(f.addr);
+                        match origin {
+                            ReadOrigin::Llc(req) => {
+                                out.push((req.make_read_resp(data), 0));
+                            }
+                            ReadOrigin::Engine(tag) => {
+                                let mut io = self.fresh_io();
+                                engine.on_dram_read(now, self.id, tag, f.addr, data, &mut io);
+                                self.apply_io(now, io, out);
+                            }
+                        }
+                    }
+                    InflightKind::Write => {
+                        // Data was applied to the image at issue; nothing to do.
+                    }
+                }
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    fn engine_tick(
+        &mut self,
+        now: Cycle,
+        engine: &mut dyn CopyEngine,
+        out: &mut Vec<(Packet, Cycle)>,
+    ) {
+        let mut io = self.fresh_io();
+        engine.tick(now, self.id, &mut io);
+        self.apply_io(now, io, out);
+    }
+
+    fn accept_input(
+        &mut self,
+        now: Cycle,
+        input: &mut DelayQueue<Packet>,
+        engine: &mut dyn CopyEngine,
+        out: &mut Vec<(Packet, Cycle)>,
+    ) {
+        // Engine-deferred packets first (e.g. MCLAZY waiting for CTT room).
+        // They retry without blocking the packets behind them, which is
+        // required for forward progress: freeing CTT entries depends on
+        // LazyDestWrite deliveries that may share this input port.
+        for _ in 0..self.retry_q.len() {
+            let Some(pkt) = self.retry_q.pop_front() else { break };
+            let mut io = self.fresh_io();
+            match engine.on_arrive(now, self.id, pkt, &mut io) {
+                Verdict::Consumed => {}
+                Verdict::Retry(pkt) => {
+                    self.apply_io(now, io, out);
+                    self.retry_q.push_front(pkt);
+                    self.stats.input_stall_cycles += 1;
+                    break;
+                }
+                Verdict::Pass(pkt) => {
+                    self.apply_io(now, io, out);
+                    self.enqueue(now, pkt, out);
+                    continue;
+                }
+            }
+            self.apply_io(now, io, out);
+        }
+        for _ in 0..INPUT_PER_CYCLE {
+            // Flow control: don't pop what we can't queue.
+            let Some(head) = input.peek(now) else { break };
+            match head.cmd {
+                MemCmd::ReadReq if self.rpq.len() >= self.cfg.rpq_cap => {
+                    self.stats.input_stall_cycles += 1;
+                    break;
+                }
+                MemCmd::WriteReq | MemCmd::LazyDestWrite
+                    if self.wpq.len() >= self.cfg.wpq_cap =>
+                {
+                    self.stats.input_stall_cycles += 1;
+                    break;
+                }
+                _ => {}
+            }
+            let pkt = input.pop(now).expect("peeked");
+            let mut io = self.fresh_io();
+            let verdict = engine.on_arrive(now, self.id, pkt, &mut io);
+            self.apply_io(now, io, out);
+            match verdict {
+                Verdict::Consumed => {}
+                Verdict::Retry(pkt) => {
+                    self.stats.input_stall_cycles += 1;
+                    self.retry_q.push_back(pkt);
+                }
+                Verdict::Pass(pkt) => self.enqueue(now, pkt, out),
+            }
+        }
+    }
+
+    fn enqueue(&mut self, now: Cycle, pkt: Packet, out: &mut Vec<(Packet, Cycle)>) {
+        match pkt.cmd {
+            MemCmd::ReadReq => {
+                // WPQ forwarding: a pending write to the same line services
+                // the read without touching DRAM.
+                if let Some(w) = self.wpq.iter().rev().find(|w| w.addr == pkt.addr) {
+                    self.stats.wpq_forwards += 1;
+                    let data = w.data;
+                    out.push((pkt.make_read_resp(data), 0));
+                    return;
+                }
+                self.rpq.push_back(RpqEntry { addr: pkt.addr, origin: ReadOrigin::Llc(pkt), enq: now });
+            }
+            MemCmd::WriteReq | MemCmd::LazyDestWrite => {
+                let data = pkt.data.expect("write without data");
+                if pkt.needs_ack {
+                    out.push((pkt.make_write_ack(), 0));
+                }
+                self.wpq.push_back(WpqEntry { addr: pkt.addr, data });
+            }
+            other => {
+                // Mclazy/Mcfree/Bounce* are engine commands; with an engine
+                // present they never Pass. NullEngine consumes them too.
+                unreachable!("unexpected packet at MC{}: {other:?}", self.id);
+            }
+        }
+    }
+
+    fn schedule_dram(&mut self, now: Cycle, mem: &mut SparseMem) {
+        // Update drain mode hysteresis.
+        let occ = self.wpq.len() as f64 / self.cfg.wpq_cap as f64;
+        if occ >= self.cfg.wpq_drain_hi || self.rpq.is_empty() {
+            if !self.wpq.is_empty() {
+                self.draining = true;
+            }
+        }
+        if occ <= self.cfg.wpq_drain_lo && !self.rpq.is_empty() {
+            self.draining = false;
+        }
+        if self.wpq.is_empty() {
+            self.draining = false;
+        }
+
+        // Issue while the channel can accept column commands (the data bus
+        // may be booked ahead; see DramChannel::bus_ready), bounded per
+        // tick to model the command bus.
+        for _ in 0..4 {
+            if !self.dram.bus_ready(now) {
+                break;
+            }
+            let did = if self.draining { self.issue_write(now, mem) } else { self.issue_read(now) };
+            if !did {
+                // Try the other kind opportunistically.
+                let did2 =
+                    if self.draining { self.issue_read(now) } else { self.issue_write(now, mem) };
+                if !did2 {
+                    break;
+                }
+            }
+        }
+    }
+
+    fn issue_read(&mut self, now: Cycle) -> bool {
+        // FR-FCFS-lite with demand priority: engine reads (lazy-copy
+        // drains) only issue when no demand read is ready, bounding their
+        // bandwidth interference (§III-A1 limits outstanding asynchronous
+        // copies for the same reason).
+        let is_demand = |e: &RpqEntry| matches!(e.origin, ReadOrigin::Llc(_));
+        let ready = |e: &RpqEntry| self.dram.bank_ready(now, e.addr);
+        let pick = self
+            .rpq
+            .iter()
+            .position(|e| is_demand(e) && ready(e) && self.dram.is_row_hit(e.addr))
+            .or_else(|| self.rpq.iter().position(|e| is_demand(e) && ready(e)))
+            .or_else(|| {
+                self.rpq
+                    .iter()
+                    .position(|e| ready(e) && self.dram.is_row_hit(e.addr))
+            })
+            .or_else(|| self.rpq.iter().position(|e| ready(e)));
+        let Some(idx) = pick else { return false };
+        let e = self.rpq.remove(idx).expect("index valid");
+        let (done, outcome) = self.dram.access(now, e.addr);
+        self.note_row(outcome);
+        self.stats.reads += 1;
+        let _ = e.enq;
+        self.inflight.push(Inflight { done, addr: e.addr, kind: InflightKind::Read(e.origin) });
+        true
+    }
+
+    fn issue_write(&mut self, now: Cycle, mem: &mut SparseMem) -> bool {
+        let pick = self
+            .wpq
+            .iter()
+            .position(|e| self.dram.bank_ready(now, e.addr) && self.dram.is_row_hit(e.addr))
+            .or_else(|| self.wpq.iter().position(|e| self.dram.bank_ready(now, e.addr)));
+        let Some(idx) = pick else { return false };
+        let e = self.wpq.remove(idx).expect("index valid");
+        let (done, outcome) = self.dram.access(now, e.addr);
+        self.note_row(outcome);
+        self.stats.writes += 1;
+        // Apply functionally at issue: any later read goes through the RPQ
+        // behind this write's bank occupancy, and reads that raced ahead
+        // were already served by WPQ forwarding.
+        mem.write_line(e.addr, e.data);
+        self.inflight.push(Inflight { done, addr: e.addr, kind: InflightKind::Write });
+        true
+    }
+
+    fn note_row(&mut self, outcome: RowOutcome) {
+        match outcome {
+            RowOutcome::Hit => self.stats.row_hits += 1,
+            RowOutcome::Empty => self.stats.row_misses += 1,
+            RowOutcome::Conflict => self.stats.row_conflicts += 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DramConfig;
+    use crate::engine::NullEngine;
+    use crate::packet::Node;
+
+    fn mk() -> (MemCtrl, DelayQueue<Packet>, SparseMem, NullEngine) {
+        let dram = DramChannel::new(
+            DramConfig { banks: 4, row_bytes: 1024, t_rcd: 5, t_rp: 5, t_cl: 5, t_burst: 2 },
+            1,
+        );
+        let mc = MemCtrl::new(0, McConfig::default(), dram);
+        (mc, DelayQueue::new(0), SparseMem::new(), NullEngine)
+    }
+
+    fn run(
+        mc: &mut MemCtrl,
+        input: &mut DelayQueue<Packet>,
+        mem: &mut SparseMem,
+        eng: &mut NullEngine,
+        cycles: Cycle,
+    ) -> Vec<Packet> {
+        let mut got = Vec::new();
+        for now in 0..cycles {
+            let mut out = Vec::new();
+            mc.tick(now, input, eng, mem, &mut out);
+            got.extend(out.into_iter().map(|(p, _)| p));
+        }
+        got
+    }
+
+    #[test]
+    fn read_returns_memory_contents() {
+        let (mut mc, mut input, mut mem, mut eng) = mk();
+        mem.write_line(PhysAddr(0x40), LineData::splat(9));
+        input.push(0, Packet::read(PhysAddr(0x40), Node::Mc(0)));
+        let resps = run(&mut mc, &mut input, &mut mem, &mut eng, 50);
+        assert_eq!(resps.len(), 1);
+        assert_eq!(resps[0].cmd, MemCmd::ReadResp);
+        assert_eq!(resps[0].data, Some(LineData::splat(9)));
+        assert!(mc.idle());
+    }
+
+    #[test]
+    fn write_then_read_sees_new_data() {
+        let (mut mc, mut input, mut mem, mut eng) = mk();
+        input.push(0, Packet::write(PhysAddr(0x80), LineData::splat(7), Node::Mc(0)));
+        input.push(0, Packet::read(PhysAddr(0x80), Node::Mc(0)));
+        let resps = run(&mut mc, &mut input, &mut mem, &mut eng, 60);
+        assert_eq!(resps.len(), 1);
+        assert_eq!(resps[0].data, Some(LineData::splat(7)));
+    }
+
+    #[test]
+    fn wpq_forwarding_counts() {
+        let (mut mc, mut input, mut mem, mut eng) = mk();
+        input.push(0, Packet::write(PhysAddr(0x80), LineData::splat(7), Node::Mc(0)));
+        input.push(0, Packet::read(PhysAddr(0x80), Node::Mc(0)));
+        let _ = run(&mut mc, &mut input, &mut mem, &mut eng, 60);
+        assert!(mc.stats.wpq_forwards >= 1 || mc.stats.reads == 1);
+    }
+
+    #[test]
+    fn many_reads_all_complete() {
+        let (mut mc, mut input, mut mem, mut eng) = mk();
+        for i in 0..20u64 {
+            mem.write_line(PhysAddr(i * 64), LineData::splat(i as u8));
+            input.push(0, Packet::read(PhysAddr(i * 64), Node::Mc(0)));
+        }
+        let resps = run(&mut mc, &mut input, &mut mem, &mut eng, 500);
+        assert_eq!(resps.len(), 20);
+        for r in &resps {
+            let want = (r.addr.0 / 64) as u8;
+            assert_eq!(r.data, Some(LineData::splat(want)));
+        }
+        assert!(mc.stats.row_hits > 0, "sequential reads should row-hit");
+    }
+
+    #[test]
+    fn writes_drain_eventually() {
+        let (mut mc, mut input, mut mem, mut eng) = mk();
+        for i in 0..10u64 {
+            input.push(0, Packet::write(PhysAddr(i * 64), LineData::splat(1), Node::Mc(0)));
+        }
+        let _ = run(&mut mc, &mut input, &mut mem, &mut eng, 500);
+        assert!(mc.idle());
+        assert_eq!(mc.stats.writes, 10);
+        assert_eq!(mem.read_line(PhysAddr(0)), LineData::splat(1));
+    }
+}

@@ -1,0 +1,151 @@
+//! The `Program` trait: how workloads drive a simulated core.
+//!
+//! A program is a uop generator. The core pulls uops through
+//! [`Program::fetch`] and notifies the program of completed loads through
+//! [`Program::on_load_complete`], which is what makes dependent access
+//! patterns (the pointer chase of Fig. 13, fault handling in `mcs-os`)
+//! expressible: the program returns [`Fetch::Stall`] until the value it
+//! needs has arrived.
+
+use crate::uop::{Uop, UopId};
+
+/// Result of asking a program for its next uop.
+#[derive(Debug)]
+pub enum Fetch {
+    /// Dispatch this uop. The core assigns it the [`UopId`] passed as
+    /// `next_id` to [`Program::fetch`].
+    Uop(Uop),
+    /// No uop available this cycle (dependency not yet satisfied); ask
+    /// again later.
+    Stall,
+    /// The program has finished.
+    Done,
+}
+
+/// A workload running on one core.
+///
+/// Programs see uop ids: `fetch` is told the id that will be assigned to
+/// the uop it returns, and `on_load_complete` reports results by id.
+///
+/// Programs are `Send` so whole systems can be constructed and run on
+/// worker threads during benchmark sweeps.
+///
+/// Contract for [`Fetch::Stall`]: once `fetch` stalls, its answer may only
+/// change after an `on_load_complete` delivery — the core's idle
+/// skip-ahead relies on this.
+pub trait Program: Send {
+    /// Produce the next uop, to be assigned id `next_id`.
+    fn fetch(&mut self, next_id: UopId) -> Fetch;
+
+    /// A previously fetched load (id `id`) completed with `data`.
+    fn on_load_complete(&mut self, id: UopId, data: &[u8]) {
+        let _ = (id, data);
+    }
+}
+
+/// A program that replays a fixed uop sequence (no data dependencies).
+#[derive(Debug)]
+pub struct FixedProgram {
+    uops: std::vec::IntoIter<Uop>,
+}
+
+impl FixedProgram {
+    /// Wrap a pre-generated uop list.
+    pub fn new(uops: Vec<Uop>) -> FixedProgram {
+        FixedProgram { uops: uops.into_iter() }
+    }
+}
+
+impl Program for FixedProgram {
+    fn fetch(&mut self, _next_id: UopId) -> Fetch {
+        match self.uops.next() {
+            Some(u) => Fetch::Uop(u),
+            None => Fetch::Done,
+        }
+    }
+}
+
+/// Chain several programs, running them back to back on the same core.
+pub struct SeqProgram {
+    parts: Vec<Box<dyn Program>>,
+    idx: usize,
+}
+
+impl SeqProgram {
+    /// Run `parts` in order.
+    pub fn new(parts: Vec<Box<dyn Program>>) -> SeqProgram {
+        SeqProgram { parts, idx: 0 }
+    }
+}
+
+impl Program for SeqProgram {
+    fn fetch(&mut self, next_id: UopId) -> Fetch {
+        while self.idx < self.parts.len() {
+            match self.parts[self.idx].fetch(next_id) {
+                Fetch::Done => self.idx += 1,
+                other => return other,
+            }
+        }
+        Fetch::Done
+    }
+
+    fn on_load_complete(&mut self, id: UopId, data: &[u8]) {
+        if let Some(p) = self.parts.get_mut(self.idx) {
+            p.on_load_complete(id, data);
+        }
+    }
+}
+
+impl std::fmt::Debug for SeqProgram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SeqProgram({}/{} parts)", self.idx, self.parts.len())
+    }
+}
+
+/// An empty program (for cores that should stay idle).
+#[derive(Debug, Default)]
+pub struct IdleProgram;
+
+impl Program for IdleProgram {
+    fn fetch(&mut self, _next_id: UopId) -> Fetch {
+        Fetch::Done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::PhysAddr;
+    use crate::uop::{StatTag, UopKind};
+
+    fn ld(a: u64) -> Uop {
+        Uop::new(UopKind::Load { addr: PhysAddr(a), size: 8 }, StatTag::App)
+    }
+
+    #[test]
+    fn fixed_program_replays_and_ends() {
+        let mut p = FixedProgram::new(vec![ld(0), ld(64)]);
+        assert!(matches!(p.fetch(0), Fetch::Uop(_)));
+        assert!(matches!(p.fetch(1), Fetch::Uop(_)));
+        assert!(matches!(p.fetch(2), Fetch::Done));
+        assert!(matches!(p.fetch(3), Fetch::Done));
+    }
+
+    #[test]
+    fn seq_program_chains() {
+        let mut p = SeqProgram::new(vec![
+            Box::new(FixedProgram::new(vec![ld(0)])),
+            Box::new(FixedProgram::new(vec![ld(64), ld(128)])),
+        ]);
+        let mut n = 0;
+        while let Fetch::Uop(_) = p.fetch(n) {
+            n += 1;
+        }
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn idle_program_is_done() {
+        assert!(matches!(IdleProgram.fetch(0), Fetch::Done));
+    }
+}

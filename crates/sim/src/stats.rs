@@ -1,0 +1,276 @@
+//! Simulation statistics.
+//!
+//! Counters are organised the way the paper reports them: cycles are
+//! attributed to a [`crate::uop::StatTag`] (memcpy vs. application vs.
+//! kernel work), and stall cycles are further attributed to the resource
+//! being waited on. This is what regenerates Figs. 2, 3, 11 and 20b.
+
+use crate::uop::StatTag;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Why a core made no forward progress in a cycle.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum StallReason {
+    /// Head of ROB is a load waiting for memory.
+    LoadMiss,
+    /// Dispatch blocked: all CLWB writeback slots are in flight.
+    ClwbSlots,
+    /// Dispatch blocked: all MCLAZY slots are in flight (includes the
+    /// memory controller back-pressuring acks because the CTT is full).
+    MclazySlots,
+    /// Fence draining: waiting for stores / CLWBs / MCLAZYs to complete.
+    Fence,
+    /// Store buffer full.
+    StoreBuffer,
+    /// ROB full.
+    RobFull,
+    /// Program supplied no uop (dependency stall, e.g. pointer chasing).
+    Frontend,
+}
+
+/// Per-core statistics.
+#[derive(Clone, Default, Debug, Serialize, Deserialize)]
+pub struct CoreStats {
+    /// Total cycles this core was live (first fetch to completion).
+    pub cycles: u64,
+    /// Retired uops.
+    pub retired: u64,
+    /// Retired loads / stores.
+    pub loads: u64,
+    pub stores: u64,
+    /// Cycles attributed to each tag (by ROB-head tag; idle cycles inherit
+    /// the last observed tag so totals add up).
+    pub cycles_by_tag: BTreeMap<StatTag, u64>,
+    /// Cycles with zero retires while waiting on memory, per tag.
+    pub mem_stall_by_tag: BTreeMap<StatTag, u64>,
+    /// Zero-retire cycles broken down by reason.
+    pub stalls: BTreeMap<StallReason, u64>,
+    /// Cycles in which at least one load miss was outstanding, per tag
+    /// (the paper's "Mem miss cycles", Fig. 3).
+    pub mem_busy_by_tag: BTreeMap<StatTag, u64>,
+    /// Loads that completed having missed the L1 (serviced by LLC or
+    /// beyond), and loads that went all the way to memory.
+    pub l1_miss_loads: u64,
+    pub mem_loads: u64,
+    /// Retire timestamps of `Marker` uops, in retire order: (marker id,
+    /// cycle). The RDTSC-style probe used for per-operation latency.
+    pub markers: Vec<(u32, u64)>,
+}
+
+impl CoreStats {
+    /// Total cycles attributed to `tag`.
+    pub fn tag_cycles(&self, tag: StatTag) -> u64 {
+        self.cycles_by_tag.get(&tag).copied().unwrap_or(0)
+    }
+
+    /// Total memory-stall cycles attributed to `tag`.
+    pub fn tag_mem_stalls(&self, tag: StatTag) -> u64 {
+        self.mem_stall_by_tag.get(&tag).copied().unwrap_or(0)
+    }
+
+    /// Add a stall-reason cycle.
+    pub fn bump_stall(&mut self, r: StallReason) {
+        *self.stalls.entry(r).or_insert(0) += 1;
+    }
+}
+
+/// Per-cache statistics.
+#[derive(Clone, Default, Debug, Serialize, Deserialize)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    pub writebacks: u64,
+    pub prefetches_issued: u64,
+    pub prefetch_hits: u64,
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    /// Miss ratio over all demand accesses.
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+/// Per-memory-controller statistics.
+#[derive(Clone, Default, Debug, Serialize, Deserialize)]
+pub struct McStats {
+    pub reads: u64,
+    pub writes: u64,
+    pub row_hits: u64,
+    pub row_misses: u64,
+    pub row_conflicts: u64,
+    /// Reads serviced by WPQ forwarding.
+    pub wpq_forwards: u64,
+    /// Cycles the input port was blocked by engine back-pressure
+    /// (CTT-full / BPQ-full stalls; Fig. 20b).
+    pub input_stall_cycles: u64,
+    /// Engine-generated DRAM reads/writes (lazy copies, drains).
+    pub engine_reads: u64,
+    pub engine_writes: u64,
+}
+
+/// Statistics of one full run.
+#[derive(Clone, Default, Debug, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Simulated cycles until all programs finished (and queues drained).
+    pub cycles: u64,
+    pub cores: Vec<CoreStats>,
+    pub l1: Vec<CacheStats>,
+    pub llc: CacheStats,
+    pub mcs: Vec<McStats>,
+    /// Engine counters (name → value), e.g. CTT inserts, bounces, drains.
+    pub engine: BTreeMap<String, u64>,
+}
+
+impl RunStats {
+    /// Sum of a per-tag cycle counter across cores.
+    pub fn total_tag_cycles(&self, tag: StatTag) -> u64 {
+        self.cores.iter().map(|c| c.tag_cycles(tag)).sum()
+    }
+
+    /// Sum of memory-stall cycles for a tag across cores.
+    pub fn total_tag_mem_stalls(&self, tag: StatTag) -> u64 {
+        self.cores.iter().map(|c| c.tag_mem_stalls(tag)).sum()
+    }
+
+    /// Fraction of all attributed cycles spent under `tag` (Fig. 2's "copy
+    /// overhead" when `tag == StatTag::Memcpy`).
+    pub fn tag_fraction(&self, tag: StatTag) -> f64 {
+        let total: u64 =
+            self.cores.iter().flat_map(|c| c.cycles_by_tag.values()).sum();
+        if total == 0 {
+            0.0
+        } else {
+            self.total_tag_cycles(tag) as f64 / total as f64
+        }
+    }
+
+    /// Total DRAM accesses across controllers.
+    pub fn dram_accesses(&self) -> u64 {
+        self.mcs.iter().map(|m| m.reads + m.writes).sum()
+    }
+
+    /// Total CTT-full input stall cycles across controllers (Fig. 20b).
+    pub fn mc_input_stalls(&self) -> u64 {
+        self.mcs.iter().map(|m| m.input_stall_cycles).sum()
+    }
+
+    /// Engine counter by name (0 when absent).
+    pub fn engine_counter(&self, name: &str) -> u64 {
+        self.engine.get(name).copied().unwrap_or(0)
+    }
+}
+
+impl fmt::Display for RunStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "cycles: {}", self.cycles)?;
+        for (i, c) in self.cores.iter().enumerate() {
+            writeln!(
+                f,
+                "  core{i}: retired={} loads={} stores={} l1miss={} memloads={}",
+                c.retired, c.loads, c.stores, c.l1_miss_loads, c.mem_loads
+            )?;
+        }
+        writeln!(
+            f,
+            "  llc: hits={} misses={} (mr={:.3})",
+            self.llc.hits,
+            self.llc.misses,
+            self.llc.miss_ratio()
+        )?;
+        for (i, m) in self.mcs.iter().enumerate() {
+            writeln!(
+                f,
+                "  mc{i}: rd={} wr={} rowhit={} stalls={}",
+                m.reads, m.writes, m.row_hits, m.input_stall_cycles
+            )?;
+        }
+        for (k, v) in &self.engine {
+            writeln!(f, "  engine.{k}: {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Latency percentile summary over a sample set (used by the
+/// per-operation latency figures).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    pub min: u64,
+    pub p50: u64,
+    pub p99: u64,
+    pub max: u64,
+    pub mean: f64,
+}
+
+/// Summarise a latency sample (cycles). Returns `None` for an empty set.
+pub fn summarize_latencies(samples: &[u64]) -> Option<LatencySummary> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut v = samples.to_vec();
+    v.sort_unstable();
+    let pct = |p: f64| v[(((v.len() - 1) as f64) * p).round() as usize];
+    Some(LatencySummary {
+        min: v[0],
+        p50: pct(0.50),
+        p99: pct(0.99),
+        max: *v.last().expect("nonempty"),
+        mean: v.iter().sum::<u64>() as f64 / v.len() as f64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_on_known_data() {
+        let s = summarize_latencies(&[10, 20, 30, 40, 1000]).unwrap();
+        assert_eq!(s.min, 10);
+        assert_eq!(s.p50, 30);
+        assert_eq!(s.max, 1000);
+        assert_eq!(s.p99, 1000);
+        assert!((s.mean - 220.0).abs() < 1e-9);
+        assert!(summarize_latencies(&[]).is_none());
+    }
+
+    #[test]
+    fn tag_fraction_sums() {
+        let mut rs = RunStats::default();
+        let mut c = CoreStats::default();
+        c.cycles_by_tag.insert(StatTag::Memcpy, 30);
+        c.cycles_by_tag.insert(StatTag::App, 70);
+        rs.cores.push(c);
+        assert!((rs.tag_fraction(StatTag::Memcpy) - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn miss_ratio_handles_zero() {
+        let cs = CacheStats::default();
+        assert_eq!(cs.miss_ratio(), 0.0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let rs = RunStats::default();
+        assert!(!format!("{rs}").is_empty());
+    }
+
+    #[test]
+    fn engine_counter_defaults_to_zero() {
+        let mut rs = RunStats::default();
+        assert_eq!(rs.engine_counter("ctt_inserts"), 0);
+        rs.engine.insert("ctt_inserts".into(), 5);
+        assert_eq!(rs.engine_counter("ctt_inserts"), 5);
+    }
+}

@@ -1,0 +1,751 @@
+//! Top-level system: wires cores, L1s, the LLC, the interconnect, memory
+//! controllers, DRAM channels, and the copy engine, and runs the clock.
+
+use crate::bus::Bus;
+use crate::cache::l1::{L1Out, L1};
+use crate::cache::llc::{Llc, LlcOut};
+use crate::cache::{CoreToL1, L1ToCore, L1ToLlc, LlcToL1};
+use crate::config::SystemConfig;
+use crate::core::{Core, CoreOut};
+use crate::data::{LineData, SparseMem};
+use crate::dram::DramChannel;
+use crate::engine::{CopyEngine, NullEngine};
+use crate::link::DelayQueue;
+use crate::mc::MemCtrl;
+use crate::packet::LazyDesc;
+use crate::program::Program;
+use crate::stats::RunStats;
+use crate::addr::{lines_of, PhysAddr};
+use crate::Cycle;
+
+/// Why a run stopped early.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The cycle budget was exhausted before all programs finished.
+    Timeout {
+        /// Budget that was exceeded.
+        max_cycles: Cycle,
+        /// Cores that had not finished.
+        unfinished: Vec<usize>,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Timeout { max_cycles, unfinished } => {
+                write!(f, "simulation exceeded {max_cycles} cycles; unfinished cores {unfinished:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// A complete simulated machine.
+pub struct System {
+    cfg: SystemConfig,
+    now: Cycle,
+    cores: Vec<Core>,
+    l1s: Vec<L1>,
+    llc: Llc,
+    bus: Bus,
+    mcs: Vec<MemCtrl>,
+    engine: Box<dyn CopyEngine>,
+    mem: SparseMem,
+    core_to_l1: Vec<DelayQueue<CoreToL1>>,
+    l1_to_core: Vec<DelayQueue<L1ToCore>>,
+    /// Request virtual network (GetS/GetM/Clwb/NtWrite/Mclazy/Mcfree).
+    l1_to_llc: Vec<DelayQueue<L1ToLlc>>,
+    /// Response virtual network (RecallAck/InvalAck/PutM): never blocked
+    /// by stalled requests, which would deadlock the directory.
+    l1_to_llc_resp: Vec<DelayQueue<L1ToLlc>>,
+    llc_to_l1: Vec<DelayQueue<LlcToL1>>,
+    fast_forward: bool,
+}
+
+impl std::fmt::Debug for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "System(t={}, {} cores, {} MCs)", self.now, self.cores.len(), self.mcs.len())
+    }
+}
+
+impl System {
+    /// Build a baseline system (no lazy-copy engine) running `programs`.
+    ///
+    /// # Panics
+    /// Panics if `programs.len() != cfg.cores`.
+    pub fn new(cfg: SystemConfig, programs: Vec<Box<dyn Program>>) -> System {
+        System::with_engine(cfg, programs, Box::new(NullEngine))
+    }
+
+    /// Build a system with a custom copy engine (the `mcsquare` crate's
+    /// (MC)² engine, or any other [`CopyEngine`]).
+    pub fn with_engine(
+        cfg: SystemConfig,
+        programs: Vec<Box<dyn Program>>,
+        engine: Box<dyn CopyEngine>,
+    ) -> System {
+        assert_eq!(programs.len(), cfg.cores, "one program per core");
+        let cores: Vec<Core> = programs
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| Core::new(i, cfg.core.clone(), p))
+            .collect();
+        let l1s: Vec<L1> = (0..cfg.cores).map(|i| L1::new(i, cfg.l1.clone())).collect();
+        let llc = Llc::new(cfg.llc.clone(), cfg.channels);
+        let bus = Bus::new(cfg.channels, cfg.links.llc_mc, cfg.links.mc_mc);
+        let mcs: Vec<MemCtrl> = (0..cfg.channels)
+            .map(|i| MemCtrl::new(i, cfg.mc.clone(), DramChannel::new(cfg.dram.clone(), cfg.channels)))
+            .collect();
+        fn mk<T>(n: usize, lat: Cycle) -> Vec<DelayQueue<T>> {
+            (0..n).map(|_| DelayQueue::new(lat)).collect()
+        }
+        let n = cfg.cores;
+        System {
+            now: 0,
+            cores,
+            l1s,
+            llc,
+            bus,
+            mcs,
+            engine,
+            mem: SparseMem::new(),
+            core_to_l1: mk(n, cfg.links.core_l1),
+            l1_to_core: mk(n, cfg.links.core_l1),
+            l1_to_llc: mk(n, cfg.links.l1_llc),
+            l1_to_llc_resp: mk(n, cfg.links.l1_llc),
+            llc_to_l1: mk(n, cfg.links.l1_llc),
+            fast_forward: true,
+            cfg,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// The configuration this system was built with.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Disable idle skip-ahead (for debugging; results are identical).
+    pub fn set_fast_forward(&mut self, on: bool) {
+        self.fast_forward = on;
+    }
+
+    /// Write bytes directly into simulated DRAM, bypassing timing
+    /// (workload initialisation).
+    pub fn poke(&mut self, addr: PhysAddr, bytes: &[u8]) {
+        self.mem.write_bytes(addr, bytes);
+    }
+
+    /// Read bytes directly from simulated DRAM, bypassing timing and caches.
+    /// Note: dirty cached data is not reflected; use after a drained run.
+    pub fn peek(&self, addr: PhysAddr, len: usize) -> Vec<u8> {
+        self.mem.read_bytes(addr, len)
+    }
+
+    /// Read bytes as the coherence protocol would see them: the owning
+    /// L1's copy wins, then the LLC, then DRAM. Test helper.
+    pub fn peek_coherent(&self, addr: PhysAddr, len: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(len);
+        let mut a = addr;
+        let mut rem = len;
+        while rem > 0 {
+            let off = a.line_off() as usize;
+            let take = rem.min(64 - off);
+            let line = self
+                .l1s
+                .iter()
+                .rev()
+                .find_map(|l1| l1.peek_line(a).copied())
+                .or_else(|| self.llc.peek_line(a).copied())
+                .unwrap_or_else(|| self.mem.read_line(a));
+            out.extend_from_slice(line.read(off, take));
+            a = a.add(take as u64);
+            rem -= take;
+        }
+        out
+    }
+
+    /// Advance one cycle.
+    pub fn tick(&mut self) {
+        let now = self.now;
+
+        // 1. Cores: consume L1 responses, then advance.
+        for i in 0..self.cores.len() {
+            while let Some(msg) = self.l1_to_core[i].pop(now) {
+                self.cores[i].handle_l1(now, msg);
+            }
+            let mut out = CoreOut::default();
+            self.cores[i].tick(now, &mut out);
+            for m in out.to_l1 {
+                self.core_to_l1[i].push(now, m);
+            }
+        }
+
+        // 2. L1s: consume LLC messages, then core requests (with flow
+        //    control), producing core responses and LLC requests.
+        for i in 0..self.l1s.len() {
+            let mut out = L1Out::default();
+            while let Some(msg) = self.llc_to_l1[i].pop(now) {
+                self.l1s[i].handle_llc(now, msg, &mut out);
+            }
+            for _ in 0..8 {
+                let Some(msg) = self.core_to_l1[i].peek(now) else { break };
+                let msg = msg.clone();
+                if self.l1s[i].handle_core(now, &msg, &mut out) {
+                    let _ = self.core_to_l1[i].pop(now);
+                } else {
+                    break;
+                }
+            }
+            for (m, extra) in out.to_core {
+                self.l1_to_core[i].push_after(now, extra, m);
+            }
+            for m in out.to_llc {
+                // Route by virtual network: responses must never queue
+                // behind a blocked request.
+                match m {
+                    L1ToLlc::RecallAck { .. } | L1ToLlc::InvalAck { .. } | L1ToLlc::PutM { .. } => {
+                        self.l1_to_llc_resp[i].push(now, m)
+                    }
+                    other => self.l1_to_llc[i].push(now, other),
+                }
+            }
+        }
+
+        // 3. LLC: replay deferred work, consume L1 requests (performing the
+        //    MCLAZY snoop where needed), consume memory responses.
+        {
+            let mut out = LlcOut::default();
+            // Responses first: they are always accepted and unblock MSHRs.
+            for i in 0..self.l1_to_llc_resp.len() {
+                while let Some(msg) = self.l1_to_llc_resp[i].pop(now) {
+                    let accepted = self.llc.handle_l1(now, msg, &mut out);
+                    debug_assert!(accepted, "responses are always accepted");
+                }
+            }
+            self.llc.begin_cycle(now, &mut out);
+            for i in 0..self.l1_to_llc.len() {
+                for _ in 0..8 {
+                    let Some(msg) = self.l1_to_llc[i].peek(now) else { break };
+                    if let L1ToLlc::Mclazy { desc, .. } = msg {
+                        let desc = *desc;
+                        let queues: Vec<&DelayQueue<L1ToLlc>> = self
+                            .l1_to_llc_resp
+                            .iter()
+                            .collect();
+                        Self::snoop_mclazy(&mut self.l1s, &mut self.llc, &queues, desc, &mut out);
+                    }
+                    let msg = self.l1_to_llc[i].peek(now).expect("still there").clone();
+                    if self.llc.handle_l1(now, msg, &mut out) {
+                        let _ = self.l1_to_llc[i].pop(now);
+                    } else {
+                        break;
+                    }
+                }
+            }
+            while let Some(pkt) = self.bus.to_llc.pop(now) {
+                self.llc.handle_pkt(now, pkt, &mut out);
+            }
+            for (l1, m, extra) in out.to_l1 {
+                self.llc_to_l1[l1].push_after(now, extra, m);
+            }
+            for (pkt, extra) in out.to_bus {
+                self.bus.send(now, pkt, extra);
+            }
+        }
+
+        // 4. Memory controllers.
+        for i in 0..self.mcs.len() {
+            let mut out = Vec::new();
+            // Split-borrow: temporarily take the input queue.
+            let mut input = std::mem::replace(&mut self.bus.to_mc[i], DelayQueue::new(0));
+            self.mcs[i].tick(now, &mut input, self.engine.as_mut(), &mut self.mem, &mut out);
+            self.bus.to_mc[i] = input;
+            for (pkt, extra) in out {
+                self.bus.send(now, pkt, extra);
+            }
+        }
+
+        self.now += 1;
+    }
+
+    /// The MCLAZY broadcast snoop (§III-B1 step 2): write back every dirty
+    /// source line from the L1s and the LLC, and invalidate every
+    /// destination line everywhere. Performed atomically when the MCLAZY
+    /// message reaches the LLC; its timing cost is carried by the CLWB
+    /// instructions the software wrapper issues per source line (§IV).
+    fn snoop_mclazy(
+        l1s: &mut [L1],
+        llc: &mut Llc,
+        in_flight: &[&DelayQueue<L1ToLlc>],
+        desc: LazyDesc,
+        out: &mut LlcOut,
+    ) {
+        for line in lines_of(desc.src, desc.size) {
+            let mut merged: Option<LineData> = None;
+            for l1 in l1s.iter_mut() {
+                if let Some(d) = l1.snoop_writeback(line) {
+                    merged = Some(d);
+                }
+            }
+            // Dirty data may also be on the wire between an L1 and the
+            // LLC (an eviction's PutM or a CLWB's payload). The paper's
+            // guarantee — writebacks reach the controller before the
+            // MCLAZY packet — requires the snoop to see those too, or the
+            // LLC would absorb them dirty after the CTT already assumed
+            // memory holds the source. The newest in-flight copy wins.
+            for q in in_flight {
+                for msg in q.iter() {
+                    match msg {
+                        L1ToLlc::PutM { line: l, data, .. } if l.line_base() == line => {
+                            merged = Some(*data);
+                        }
+                        L1ToLlc::Clwb { line: l, data: Some(d), .. }
+                            if l.line_base() == line =>
+                        {
+                            merged = Some(*d);
+                        }
+                        L1ToLlc::RecallAck { line: l, data: Some(d), .. }
+                            if l.line_base() == line =>
+                        {
+                            merged = Some(*d);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            match merged {
+                Some(d) => llc.snoop_merge_writeback(line, d, out),
+                None => llc.snoop_writeback(line, out),
+            }
+        }
+        for line in lines_of(desc.dst, desc.size) {
+            for l1 in l1s.iter_mut() {
+                l1.snoop_invalidate(line);
+            }
+            llc.snoop_invalidate(line);
+        }
+    }
+
+    fn quiescent_links(&self, at: Cycle) -> bool {
+        self.core_to_l1.iter().all(|q| q.peek(at).is_none())
+            && self.l1_to_core.iter().all(|q| q.peek(at).is_none())
+            && self.l1_to_llc.iter().all(|q| q.peek(at).is_none())
+            && self.l1_to_llc_resp.iter().all(|q| q.peek(at).is_none())
+            && self.llc_to_l1.iter().all(|q| q.peek(at).is_none())
+            && self.bus.to_llc.peek(at).is_none()
+            && self.bus.to_mc.iter().all(|q| q.peek(at).is_none())
+    }
+
+    fn all_done(&self) -> bool {
+        self.cores.iter().all(|c| c.finished())
+            && self.quiescent_links(Cycle::MAX)
+            && self.mcs.iter().all(|m| m.idle())
+            && !self.llc.busy()
+            && !self.engine.busy()
+    }
+
+    fn skip_target(&self) -> Option<Cycle> {
+        // Only skip when no link has a deliverable message next cycle and
+        // no core can make internal progress; then jump to the earliest
+        // future event.
+        let next = self.now + 1;
+        if !self.quiescent_links(next) {
+            return None;
+        }
+        let mut hint: Option<Cycle> = None;
+        let mut merge = |c: Option<Cycle>| {
+            hint = match (hint, c) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            }
+        };
+        for q in &self.core_to_l1 {
+            merge(q.next_ready());
+        }
+        for q in &self.l1_to_core {
+            merge(q.next_ready());
+        }
+        for q in &self.l1_to_llc {
+            merge(q.next_ready());
+        }
+        for q in &self.l1_to_llc_resp {
+            merge(q.next_ready());
+        }
+        for q in &self.llc_to_l1 {
+            merge(q.next_ready());
+        }
+        merge(self.bus.next_event());
+        for m in &self.mcs {
+            merge(m.next_event());
+        }
+        for c in &self.cores {
+            merge(c.next_event());
+        }
+        match hint {
+            Some(h) if h > next => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Run until every program finishes and all queues drain, or until
+    /// `max_cycles` elapse.
+    ///
+    /// # Errors
+    /// Returns [`SimError::Timeout`] if the budget is exhausted first.
+    pub fn run(&mut self, max_cycles: Cycle) -> Result<RunStats, SimError> {
+        let start = self.now;
+        let mut stable = 0u32;
+        while self.now - start < max_cycles {
+            self.tick();
+            if self.all_done() {
+                // A few grace ticks so posted work settles, then stop.
+                stable += 1;
+                if stable >= 2 {
+                    return Ok(self.collect_stats());
+                }
+            } else {
+                stable = 0;
+                // Conservative idle skip: every core is stalled on external
+                // events, and those events are all in the future.
+                if self.fast_forward {
+                    if let Some(target) = self.skip_target() {
+                        if self.cores.iter().all(|c| c.finished() || !c_active(c)) {
+                            self.now = target.max(self.now);
+                        }
+                    }
+                }
+            }
+        }
+        Err(SimError::Timeout {
+            max_cycles,
+            unfinished: self
+                .cores
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| !c.finished())
+                .map(|(i, _)| i)
+                .collect(),
+        })
+    }
+
+    /// Diagnostic snapshot of blocking state (for debugging stuck
+    /// simulations; not a stable format).
+    pub fn debug_dump(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "t={}", self.now);
+        for c in &self.cores {
+            let _ = writeln!(s, "  {}", c.debug_state());
+        }
+        for (i, l1) in self.l1s.iter().enumerate() {
+            let _ = writeln!(s, "  l1[{i}] busy={}", l1.busy());
+        }
+        let _ = writeln!(s, "  llc busy={}", self.llc.busy());
+        for (i, m) in self.mcs.iter().enumerate() {
+            let _ = writeln!(s, "  mc[{i}] idle={} next={:?}", m.idle(), m.next_event());
+        }
+        let _ = writeln!(
+            s,
+            "  links: c2l={:?} l2c={:?} l2llc={:?} l2llc_resp={:?} llc2l={:?} bus_llc={} bus_mc={:?} engine_busy={}",
+            self.core_to_l1.iter().map(|q| q.len()).collect::<Vec<_>>(),
+            self.l1_to_core.iter().map(|q| q.len()).collect::<Vec<_>>(),
+            self.l1_to_llc.iter().map(|q| q.len()).collect::<Vec<_>>(),
+            self.l1_to_llc_resp.iter().map(|q| q.len()).collect::<Vec<_>>(),
+            self.llc_to_l1.iter().map(|q| q.len()).collect::<Vec<_>>(),
+            self.bus.to_llc.len(),
+            self.bus.to_mc.iter().map(|q| q.len()).collect::<Vec<_>>(),
+            self.engine.busy(),
+        );
+        s
+    }
+
+    /// Occupancy probe for diagnostics: (core loads issued, core SB, core
+    /// ROB, per-L1 MSHRs, LLC MSHRs).
+    pub fn probe(&self) -> (usize, usize, usize, Vec<usize>, usize) {
+        (
+            self.cores[0].issued_loads(),
+            self.cores[0].sb_len(),
+            self.cores[0].rob_len(),
+            self.l1s.iter().map(|l| l.mshr_count()).collect(),
+            self.llc.mshr_count(),
+        )
+    }
+
+    /// MC queue depths + bus queue depths (diagnostics).
+    pub fn probe_mc(&self) -> Vec<(usize, usize, usize, usize)> {
+        self.mcs
+            .iter()
+            .enumerate()
+            .map(|(i, m)| {
+                let (r, w, f) = m.queue_depths();
+                (r, w, f, self.bus.to_mc[i].len())
+            })
+            .collect()
+    }
+
+    /// Whether every core's program completed (may still be draining).
+    pub fn cores_finished(&self) -> bool {
+        self.cores.iter().all(|c| c.finished())
+    }
+
+    /// Collect statistics.
+    pub fn collect_stats(&self) -> RunStats {
+        RunStats {
+            cycles: self.now,
+            cores: self.cores.iter().map(|c| c.stats.clone()).collect(),
+            l1: self.l1s.iter().map(|l| l.stats.clone()).collect(),
+            llc: self.llc.stats.clone(),
+            mcs: self.mcs.iter().map(|m| m.stats.clone()).collect(),
+            engine: self.engine.counters().into_iter().collect(),
+        }
+    }
+}
+
+/// Heuristic: can this core make internal progress this cycle without any
+/// new message arriving? Conservative (errs toward "yes, active"): skipping
+/// is only allowed when this returns false.
+fn c_active(core: &Core) -> bool {
+    core.has_internal_work()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::FixedProgram;
+    use crate::uop::{StatTag, StoreData, Uop, UopKind};
+
+    fn ld(addr: u64, size: u8) -> Uop {
+        Uop::new(UopKind::Load { addr: PhysAddr(addr), size }, StatTag::App)
+    }
+
+    fn st(addr: u64, bytes: &[u8]) -> Uop {
+        Uop::new(
+            UopKind::Store {
+                addr: PhysAddr(addr),
+                size: bytes.len() as u8,
+                data: StoreData::Imm(bytes.to_vec()),
+                nontemporal: false,
+            },
+            StatTag::App,
+        )
+    }
+
+    fn run_one(uops: Vec<Uop>) -> (System, RunStats) {
+        let mut sys = System::new(
+            SystemConfig::tiny(),
+            vec![Box::new(FixedProgram::new(uops))],
+        );
+        let stats = sys.run(100_000).expect("finishes");
+        (sys, stats)
+    }
+
+    #[test]
+    fn single_load_reads_memory() {
+        let cfg = SystemConfig::tiny();
+        let mut sys = System::new(cfg, vec![Box::new(FixedProgram::new(vec![ld(0x1000, 8)]))]);
+        sys.poke(PhysAddr(0x1000), &[1, 2, 3, 4, 5, 6, 7, 8]);
+        let stats = sys.run(100_000).expect("finishes");
+        assert_eq!(stats.cores[0].loads, 1);
+        assert!(stats.cycles > 0);
+    }
+
+    #[test]
+    fn store_then_load_forwards_or_reads_back() {
+        let (_, stats) = run_one(vec![st(0x2000, &[42]), ld(0x2000, 1)]);
+        assert_eq!(stats.cores[0].retired, 2);
+    }
+
+    #[test]
+    fn store_becomes_visible_in_memory_after_fence_and_drain() {
+        let uops = vec![
+            st(0x3000, &[9, 8, 7]),
+            Uop::new(UopKind::Clwb { addr: PhysAddr(0x3000) }, StatTag::App),
+            Uop::new(UopKind::Mfence, StatTag::App),
+        ];
+        let (sys, _) = run_one(uops);
+        assert_eq!(sys.peek(PhysAddr(0x3000), 3), vec![9, 8, 7]);
+    }
+
+    #[test]
+    fn eager_memcpy_program_copies_data() {
+        // 4-line memcpy: load src line, store to dst line (FromLoad).
+        let src = 0x10000u64;
+        let dst = 0x20000u64;
+        let mut uops = Vec::new();
+        for i in 0..4u64 {
+            let lid = uops.len() as u64;
+            uops.push(ld(src + i * 64, 64));
+            uops.push(Uop::new(
+                UopKind::Store {
+                    addr: PhysAddr(dst + i * 64),
+                    size: 64,
+                    data: StoreData::FromLoad { load: lid, offset: 0 },
+                    nontemporal: false,
+                },
+                StatTag::Memcpy,
+            ));
+        }
+        for i in 0..4u64 {
+            uops.push(Uop::new(UopKind::Clwb { addr: PhysAddr(dst + i * 64) }, StatTag::Memcpy));
+        }
+        uops.push(Uop::new(UopKind::Mfence, StatTag::Memcpy));
+
+        let mut sys = System::new(SystemConfig::tiny(), vec![Box::new(FixedProgram::new(uops))]);
+        let pattern: Vec<u8> = (0..256).map(|i| (i % 251) as u8).collect();
+        sys.poke(PhysAddr(src), &pattern);
+        sys.run(1_000_000).expect("finishes");
+        assert_eq!(sys.peek(PhysAddr(dst), 256), pattern);
+    }
+
+    #[test]
+    fn nontemporal_store_reaches_memory() {
+        let uops = vec![
+            Uop::new(
+                UopKind::Store {
+                    addr: PhysAddr(0x4000),
+                    size: 64,
+                    data: StoreData::Splat(0xaa),
+                    nontemporal: true,
+                },
+                StatTag::App,
+            ),
+            Uop::new(UopKind::Mfence, StatTag::App),
+        ];
+        let (sys, _) = run_one(uops);
+        assert_eq!(sys.peek(PhysAddr(0x4000), 64), vec![0xaa; 64]);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_cycles() {
+        let mk = || {
+            let mut uops = Vec::new();
+            for i in 0..50u64 {
+                uops.push(ld(0x1000 + (i * 97 % 64) * 64, 8));
+                uops.push(st(0x9000 + i * 64, &[i as u8]));
+            }
+            uops
+        };
+        let (_, s1) = run_one(mk());
+        let (_, s2) = run_one(mk());
+        assert_eq!(s1.cycles, s2.cycles);
+        assert_eq!(s1.llc.misses, s2.llc.misses);
+    }
+
+    #[test]
+    fn fast_forward_matches_slow_path() {
+        let mk = || {
+            let uops: Vec<Uop> = (0..20u64).map(|i| ld(0x5000 + i * 4096, 8)).collect();
+            FixedProgram::new(uops)
+        };
+        let mut a = System::new(SystemConfig::tiny(), vec![Box::new(mk())]);
+        a.set_fast_forward(false);
+        let sa = a.run(1_000_000).unwrap();
+        let mut b = System::new(SystemConfig::tiny(), vec![Box::new(mk())]);
+        b.set_fast_forward(true);
+        let sb = b.run(1_000_000).unwrap();
+        assert_eq!(sa.cycles, sb.cycles, "skip-ahead must not change timing");
+    }
+
+    #[test]
+    fn multicore_disjoint_programs_finish() {
+        let mut cfg = SystemConfig::tiny();
+        cfg.cores = 2;
+        let p0: Vec<Uop> = (0..10u64).map(|i| ld(0x10000 + i * 64, 8)).collect();
+        let p1: Vec<Uop> = (0..10u64).map(|i| st(0x20000 + i * 64, &[1])).collect();
+        let mut sys = System::new(
+            cfg,
+            vec![Box::new(FixedProgram::new(p0)), Box::new(FixedProgram::new(p1))],
+        );
+        let stats = sys.run(1_000_000).expect("finishes");
+        assert_eq!(stats.cores[0].loads, 10);
+        assert_eq!(stats.cores[1].stores, 10);
+    }
+
+    #[test]
+    fn cross_core_store_visibility() {
+        // Core 0 stores then fences; core 1 loads the same line afterwards.
+        // Without ordering primitives across cores we just check the final
+        // coherent value.
+        let mut cfg = SystemConfig::tiny();
+        cfg.cores = 2;
+        let p0 = vec![st(0x7000, &[5]), Uop::new(UopKind::Mfence, StatTag::App)];
+        let p1 = vec![ld(0x7040, 1)]; // disjoint line, keeps core busy
+        let mut sys = System::new(
+            cfg,
+            vec![Box::new(FixedProgram::new(p0)), Box::new(FixedProgram::new(p1))],
+        );
+        sys.run(1_000_000).expect("finishes");
+        assert_eq!(sys.peek_coherent(PhysAddr(0x7000), 1), vec![5]);
+    }
+
+    #[test]
+    fn prefetched_streams_complete_with_prefetch_enabled() {
+        // Regression: L1-initiated prefetch GetS must be granted by the
+        // LLC, or demand loads merging into the prefetch MSHR hang.
+        let mut cfg = SystemConfig::tiny();
+        cfg.l1.prefetch = true;
+        cfg.l1.prefetch_degree = 4;
+        cfg.llc.prefetch = true;
+        cfg.llc.prefetch_degree = 4;
+        let uops: Vec<Uop> = (0..64u64).map(|i| ld(0x100000 + i * 64, 8)).collect();
+        let mut sys = System::new(cfg, vec![Box::new(FixedProgram::new(uops))]);
+        let stats = sys.run(1_000_000).expect("must not hang");
+        assert_eq!(stats.cores[0].loads, 64);
+        let pf: u64 = stats.l1.iter().map(|l| l.prefetches_issued).sum();
+        assert!(pf > 0, "prefetcher must fire on a streaming read");
+    }
+
+    #[test]
+    fn pipeline_flush_serialises_compute() {
+        // Two 1000-cycle computes: unflushed they overlap in the ROB;
+        // flushed they cannot.
+        let mk = |flush: bool| {
+            let mut uops = Vec::new();
+            for _ in 0..2 {
+                if flush {
+                    uops.push(Uop::new(UopKind::PipelineFlush, StatTag::App));
+                }
+                uops.push(Uop::new(UopKind::Compute { cycles: 1000 }, StatTag::App));
+            }
+            FixedProgram::new(uops)
+        };
+        let mut a = System::new(SystemConfig::tiny(), vec![Box::new(mk(false))]);
+        let ta = a.run(1_000_000).unwrap().cycles;
+        let mut b = System::new(SystemConfig::tiny(), vec![Box::new(mk(true))]);
+        let tb = b.run(1_000_000).unwrap().cycles;
+        assert!(ta < 1500, "unflushed computes overlap: {ta}");
+        assert!(tb >= 2000, "flushed computes serialise: {tb}");
+    }
+
+    #[test]
+    fn wbrange_flushes_dirty_data_to_memory() {
+        let uops = vec![
+            st(0x5000, &[1, 2, 3]),
+            st(0x5040, &[4, 5, 6]),
+            Uop::new(UopKind::WbRange { addr: PhysAddr(0x5000), size: 128 }, StatTag::App),
+            Uop::new(UopKind::Mfence, StatTag::App),
+        ];
+        let (sys, _) = run_one(uops);
+        assert_eq!(sys.peek(PhysAddr(0x5000), 3), vec![1, 2, 3]);
+        assert_eq!(sys.peek(PhysAddr(0x5040), 3), vec![4, 5, 6]);
+    }
+
+    #[test]
+    fn timeout_reports_unfinished() {
+        // A load that can never complete does not exist in this system, so
+        // emulate with an absurdly small budget.
+        let mut sys =
+            System::new(SystemConfig::tiny(), vec![Box::new(FixedProgram::new(vec![ld(0, 8)]))]);
+        let err = sys.run(1).unwrap_err();
+        match err {
+            SimError::Timeout { unfinished, .. } => assert_eq!(unfinished, vec![0]),
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! # mcs-workloads — workload generators for the (MC)² evaluation
+//!
+//! Each module builds the uop programs behind one of the paper's
+//! evaluation sections, parameterised over the copy mechanism under test
+//! ([`common::CopyMech`]: native memcpy, the (MC)² interposer, or zIO):
+//!
+//! * [`micro`] — Figs. 10–13 and 21 microbenchmarks (copy latency sweep,
+//!   overhead breakdown, sequential and pointer-chase destination access,
+//!   source-write BPQ stress);
+//! * [`protobuf`] — the Fleetbench-like serialization workload (Figs. 14,
+//!   20) over the Fig. 4 size distribution ([`dist`]);
+//! * [`mongodb`] — YCSB-load-style inserts with the three copy sites the
+//!   paper names (Fig. 15);
+//! * [`mvcc`] — the Cicada-style multi-version table (Figs. 16, 17, 22);
+//! * [`cow`] — fork + hugepage copy-on-write snapshotting (Fig. 18);
+//! * [`pipe`] — kernel pipe transfers (Fig. 19).
+//!
+//! All generators are deterministic given their seed, so whole-figure
+//! sweeps are exactly reproducible.
+
+pub mod common;
+pub mod cow;
+pub mod dist;
+pub mod micro;
+pub mod mongodb;
+pub mod mvcc;
+pub mod pipe;
+pub mod protobuf;
+
+pub use common::{CopyMech, Copier, Pokes};

@@ -1,0 +1,288 @@
+//! MVCC database workload (Figs. 16, 17, 22) — a Cicada-style
+//! multi-version table.
+//!
+//! Write transactions copy the 8 KB tuple into a fresh version buffer,
+//! modify a fraction of it, and commit by swapping version pointers; read
+//! transactions scan the current version. The copy mechanism is pluggable:
+//! with (MC)² the tuple copy is lazy, so only the fraction actually
+//! modified (plus reads) ever moves — the paper's "tuple-wise copying
+//! while paying the copy penalty only for the portions updated".
+//!
+//! Update flavours reproduce the figure variants: read-modify-write
+//! (Fig. 16), plain write-only stores whose RFO still reads memory
+//! (Fig. 17 baseline curve), and non-temporal stores that avoid the RFO
+//! (Fig. 17's `[Nontemporal]`).
+//!
+//! Multi-threaded runs give each thread a disjoint partition of the table
+//! (Cicada is shared-nothing-ish per core for inserts); bandwidth is the
+//! shared resource, reproducing the 8-thread saturation behaviour.
+
+use crate::common::{fence, pattern, read_region, Copier, CopyMech, Pokes};
+use mcs_sim::addr::{PhysAddr, CACHELINE};
+use mcs_sim::alloc::AddrSpace;
+use mcs_sim::uop::{StatTag, StoreData, Uop, UopKind};
+use rand::RngExt;
+
+/// How an update transaction modifies the copied tuple.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum UpdateKind {
+    /// Read-modify-write: load then store each updated 64B chunk.
+    Rmw,
+    /// Write-only stores (cache RFO reads memory anyway).
+    WriteOnly,
+    /// Write-only with non-temporal stores (no RFO).
+    NonTemporal,
+}
+
+/// MVCC workload parameters.
+#[derive(Clone, Debug)]
+pub struct MvccConfig {
+    /// Tuples in this thread's partition.
+    pub tuples: usize,
+    /// Tuple size in bytes (paper: 8 KB rows).
+    pub tuple_size: u64,
+    /// Transactions to run.
+    pub txns: usize,
+    /// Fraction of the tuple updated by a write txn (the sweep axis).
+    pub update_frac: f64,
+    /// Update flavour.
+    pub kind: UpdateKind,
+    /// Fraction of transactions that are updates (paper: 50:50).
+    pub update_ratio: f64,
+    /// Version-management bookkeeping cost per txn, cycles.
+    pub commit_cost: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MvccConfig {
+    fn default() -> Self {
+        MvccConfig {
+            tuples: 16,
+            tuple_size: 8192,
+            txns: 64,
+            update_frac: 0.125,
+            kind: UpdateKind::Rmw,
+            update_ratio: 0.5,
+            commit_cost: 300,
+            seed: 0xC1CADA,
+        }
+    }
+}
+
+/// Build one thread's transaction stream. Markers 0/1 bracket all
+/// transactions (throughput = txns / elapsed).
+pub fn mvcc_program(
+    mech: CopyMech,
+    cfg: &MvccConfig,
+    space: &mut AddrSpace,
+) -> (Vec<Uop>, Pokes, Copier) {
+    let mut r = crate::dist::rng(cfg.seed);
+    let mut copier = Copier::new(mech);
+    let mut uops = Vec::new();
+    let mut pokes = Pokes::default();
+
+    // Current version of each tuple + a rotating pool of version buffers.
+    let mut current: Vec<PhysAddr> = (0..cfg.tuples)
+        .map(|i| {
+            let a = space.alloc_page(cfg.tuple_size);
+            pokes.add(a, pattern(cfg.tuple_size as usize, (i % 199) as u8));
+            a
+        })
+        .collect();
+    let pool: Vec<PhysAddr> =
+        (0..cfg.tuples * 2).map(|_| space.alloc_page(cfg.tuple_size)).collect();
+    let mut next_version = 0usize;
+
+    let upd_bytes =
+        (((cfg.tuple_size as f64 * cfg.update_frac) as u64).max(8) / 8) * 8;
+
+    crate::common::marker(&mut uops, 0);
+    for _ in 0..cfg.txns {
+        let t = r.random_range(0..cfg.tuples);
+        let is_update = r.random_range(0.0..1.0) < cfg.update_ratio;
+        if !is_update {
+            // Read txn: scan the current version.
+            copier.before_access(&mut uops, current[t], cfg.tuple_size);
+            read_region(&mut uops, current[t], cfg.tuple_size, StatTag::App);
+            uops.push(Uop::new(UopKind::Compute { cycles: cfg.commit_cost }, StatTag::App));
+            continue;
+        }
+        // Update txn: copy tuple → new version buffer, modify a fraction.
+        let newv = pool[next_version % pool.len()];
+        next_version += 1;
+        copier.before_access(&mut uops, current[t], 0); // no-op guard
+        copier.copy(&mut uops, newv, current[t], cfg.tuple_size);
+
+        let mut off = 0u64;
+        while off < upd_bytes {
+            let chunk = (upd_bytes - off).min(CACHELINE);
+            let addr = newv.add(off);
+            match cfg.kind {
+                UpdateKind::Rmw => {
+                    copier.before_access(&mut uops, addr, chunk);
+                    let lid = uops.len() as u64;
+                    uops.push(Uop::new(
+                        UopKind::Load { addr, size: chunk as u8 },
+                        StatTag::App,
+                    ));
+                    // Modify and store back (dependent on the load).
+                    uops.push(Uop::new(
+                        UopKind::Store {
+                            addr,
+                            size: chunk as u8,
+                            data: StoreData::FromLoad { load: lid, offset: 0 },
+                            nontemporal: false,
+                        },
+                        StatTag::App,
+                    ));
+                }
+                UpdateKind::WriteOnly => {
+                    copier.before_access(&mut uops, addr, chunk);
+                    uops.push(Uop::new(
+                        UopKind::Store {
+                            addr,
+                            size: chunk as u8,
+                            data: StoreData::Splat(0xA5),
+                            nontemporal: false,
+                        },
+                        StatTag::App,
+                    ));
+                }
+                UpdateKind::NonTemporal => {
+                    // NT stores are full-line; the update fraction is a
+                    // multiple of 64B for fractions ≥ 1/128 of 8 KB.
+                    if chunk == CACHELINE && addr.is_aligned(CACHELINE) {
+                        copier.before_access(&mut uops, addr, chunk);
+                        uops.push(Uop::new(
+                            UopKind::Store {
+                                addr,
+                                size: 64,
+                                data: StoreData::Splat(0xA5),
+                                nontemporal: true,
+                            },
+                            StatTag::App,
+                        ));
+                    } else {
+                        copier.before_access(&mut uops, addr, chunk);
+                        uops.push(Uop::new(
+                            UopKind::Store {
+                                addr,
+                                size: chunk as u8,
+                                data: StoreData::Splat(0xA5),
+                                nontemporal: false,
+                            },
+                            StatTag::App,
+                        ));
+                    }
+                }
+            }
+            off += chunk;
+        }
+        // Commit: version pointer swap + bookkeeping.
+        uops.push(Uop::new(UopKind::Compute { cycles: cfg.commit_cost }, StatTag::App));
+        current[t] = newv;
+    }
+    fence(&mut uops, StatTag::App);
+    crate::common::marker(&mut uops, 1);
+    (uops, pokes, copier)
+}
+
+/// Build per-thread programs for an `n_threads` run (disjoint partitions,
+/// distinct seeds). Returns one (uops, pokes) per thread.
+pub fn mvcc_multithread(
+    mech: CopyMech,
+    base: &MvccConfig,
+    n_threads: usize,
+    space: &mut AddrSpace,
+) -> Vec<(Vec<Uop>, Pokes)> {
+    (0..n_threads)
+        .map(|t| {
+            let cfg = MvccConfig { seed: base.seed + t as u64 * 7919, ..base.clone() };
+            let (u, p, _) = mvcc_program(mech.clone(), &cfg, space);
+            (u, p)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::marker_latencies;
+    use mcs_sim::config::SystemConfig;
+    use mcs_sim::program::{FixedProgram, IdleProgram, Program};
+    use mcs_sim::system::System;
+    use mcsquare::{McSquareConfig, McSquareEngine};
+
+    fn tiny() -> MvccConfig {
+        MvccConfig { tuples: 4, tuple_size: 1024, txns: 10, ..MvccConfig::default() }
+    }
+
+    fn run(mech: CopyMech, kind: UpdateKind) -> u64 {
+        let mut space = AddrSpace::new(PhysAddr(1 << 20), 1 << 28);
+        let needs = mech.needs_engine();
+        let cfgw = MvccConfig { kind, ..tiny() };
+        let (uops, pokes, _) = mvcc_program(mech, &cfgw, &mut space);
+        let cfg = SystemConfig::tiny();
+        let mut sys = if needs {
+            let e = McSquareEngine::new(McSquareConfig::default(), cfg.channels);
+            System::with_engine(cfg, vec![Box::new(FixedProgram::new(uops))], Box::new(e))
+        } else {
+            System::new(cfg, vec![Box::new(FixedProgram::new(uops))])
+        };
+        pokes.apply(&mut sys);
+        let st = sys.run(200_000_000).expect("finishes");
+        marker_latencies(&st.cores[0])[0]
+    }
+
+    #[test]
+    fn all_kinds_complete_native() {
+        assert!(run(CopyMech::Native, UpdateKind::Rmw) > 0);
+        assert!(run(CopyMech::Native, UpdateKind::WriteOnly) > 0);
+        assert!(run(CopyMech::Native, UpdateKind::NonTemporal) > 0);
+    }
+
+    #[test]
+    fn all_kinds_complete_lazy() {
+        assert!(run(CopyMech::mcsquare_1k(), UpdateKind::Rmw) > 0);
+        assert!(run(CopyMech::mcsquare_1k(), UpdateKind::WriteOnly) > 0);
+        assert!(run(CopyMech::mcsquare_1k(), UpdateKind::NonTemporal) > 0);
+    }
+
+    #[test]
+    fn update_fraction_bounds_stores() {
+        let mut space = AddrSpace::new(PhysAddr(1 << 20), 1 << 28);
+        let cfgw = MvccConfig { update_frac: 0.25, update_ratio: 1.0, ..tiny() };
+        let (uops, _, _) = mvcc_program(CopyMech::Native, &cfgw, &mut space);
+        let app_stores = uops
+            .iter()
+            .filter(|u| matches!(u.kind, UopKind::Store { .. }) && u.tag == StatTag::App)
+            .count();
+        // 10 update txns × 256B/64B chunks = 40 stores.
+        assert_eq!(app_stores, 40);
+    }
+
+    #[test]
+    fn multithread_builds_disjoint_partitions() {
+        let mut space = AddrSpace::new(PhysAddr(1 << 20), 1 << 28);
+        let progs = mvcc_multithread(CopyMech::Native, &tiny(), 2, &mut space);
+        assert_eq!(progs.len(), 2);
+        // Distinct seeds and distinct buffers → different uop streams.
+        assert_ne!(progs[0].0, progs[1].0);
+        // Run both on a 2-core system.
+        let mut cfg = SystemConfig::tiny();
+        cfg.cores = 2;
+        let mut sys = System::new(
+            cfg,
+            progs
+                .iter()
+                .map(|(u, _)| Box::new(FixedProgram::new(u.clone())) as Box<dyn Program>)
+                .collect(),
+        );
+        for (_, p) in &progs {
+            p.apply(&mut sys);
+        }
+        let _ = IdleProgram;
+        sys.run(200_000_000).expect("finishes");
+    }
+}

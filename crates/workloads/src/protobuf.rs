@@ -1,0 +1,236 @@
+//! Protobuf serialization workload (Fig. 14, Fig. 20).
+//!
+//! Models the Fleetbench Protobuf benchmark the paper runs: a stream of
+//! messages, each made of fields whose sizes follow the Fig. 4 trace
+//! distribution. Serializing a message copies every field from the object
+//! arena into a stream buffer (`MergeFrom`-style copying plus varint
+//! framing work); deserializing copies fields back out into a fresh object
+//! and then touches part of the resulting object, which is where copied
+//! data gets accessed. All copies are sub-page, so zIO can never elide
+//! (the Fig. 14 observation), while the (MC)² interposer redirects the
+//! ≥ 1 KB majority to `memcpy_lazy`.
+
+use crate::common::{fence, marker, pattern, Copier, CopyMech, Pokes};
+use crate::dist::{rng, ProtobufSizes};
+use mcs_sim::addr::PhysAddr;
+use mcs_sim::alloc::AddrSpace;
+use mcs_sim::uop::{StatTag, Uop, UopKind};
+use rand::RngExt;
+
+/// Protobuf workload parameters.
+#[derive(Clone, Debug)]
+pub struct ProtobufConfig {
+    /// Emit per-phase markers (10/11 serialize, 12/13 deserialize, 14/15
+    /// touch) for diagnosis.
+    pub phase_markers: bool,
+    /// Emit MCFREE hints when a message's buffers die (the paper's §III-C
+    /// `munmap` hook). Disable to study CTT pressure (Fig. 20).
+    pub free_hints: bool,
+    /// Messages processed.
+    pub messages: usize,
+    /// Fields per message.
+    pub fields: usize,
+    /// Fraction of each deserialized field later read by the application.
+    pub touch_frac: f64,
+    /// Fixed framing/parse work per field, cycles.
+    pub compute_per_field: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ProtobufConfig {
+    fn default() -> Self {
+        ProtobufConfig {
+            phase_markers: false,
+            free_hints: true,
+            messages: 24,
+            fields: 8,
+            touch_frac: 0.25,
+            compute_per_field: 120,
+            seed: 0xF1EE7,
+        }
+    }
+}
+
+/// Build the protobuf workload under `mech`. Markers 0/1 bracket the whole
+/// run (the figure's "runtime").
+pub fn protobuf_program(
+    mech: CopyMech,
+    cfg: &ProtobufConfig,
+    space: &mut AddrSpace,
+) -> (Vec<Uop>, Pokes, Copier) {
+    let sizes = ProtobufSizes::default();
+    let mut r = rng(cfg.seed);
+    let mut copier = Copier::new(mech);
+    let mut uops = Vec::new();
+    let mut pokes = Pokes::default();
+
+    // Arenas: object fields live scattered; a ring of stream/out buffers
+    // models a server juggling many connections. The ring exceeds the LLC
+    // (paper servers run with caches full of other state), so destination
+    // buffers are realistically cold — and reuse exercises the CTT's
+    // destination-overlap and MCFREE rules.
+    let streams: Vec<_> = (0..32).map(|_| space.alloc_page(64 * 1024)).collect();
+    let outs: Vec<_> = (0..32).map(|_| space.alloc_page(64 * 1024)).collect();
+
+    marker(&mut uops, 0);
+    for m in 0..cfg.messages {
+        let stream = streams[m % streams.len()];
+        let out_arena = outs[m % outs.len()];
+        // Field sizes for this message.
+        let field_sizes: Vec<u64> = (0..cfg.fields).map(|_| sizes.sample(&mut r)).collect();
+
+        // Source fields: fresh allocations with content.
+        let fields: Vec<PhysAddr> = field_sizes
+            .iter()
+            .map(|&s| {
+                let a = space.alloc_lines(s.max(64));
+                pokes.add(a, pattern(s as usize, (m % 250) as u8));
+                a
+            })
+            .collect();
+
+        // Serialize: copy fields into the stream buffer back to back. The
+        // framing work is a dependent chain (field N's offset depends on
+        // field N-1's encoded length), so it serialises the pipeline —
+        // this is why the paper's memcpys cannot overlap each other and
+        // their stalls dominate (§II-C).
+        if cfg.phase_markers {
+            marker(&mut uops, 10);
+        }
+        let mut off = 0u64;
+        for (i, &fsz) in field_sizes.iter().enumerate() {
+            uops.push(Uop::new(UopKind::PipelineFlush, StatTag::App));
+            uops.push(Uop::new(
+                UopKind::Compute { cycles: cfg.compute_per_field },
+                StatTag::App,
+            ));
+            copier.copy(&mut uops, stream.add(off), fields[i], fsz);
+            off += fsz;
+        }
+
+        if cfg.phase_markers {
+            marker(&mut uops, 11);
+            marker(&mut uops, 12);
+        }
+        // Deserialize: copy fields out of the stream into the out arena
+        // (parsing each tag/length before the next is a dependent chain).
+        let mut soff = 0u64;
+        let mut ooff = 0u64;
+        for &fsz in &field_sizes {
+            uops.push(Uop::new(UopKind::PipelineFlush, StatTag::App));
+            uops.push(Uop::new(
+                UopKind::Compute { cycles: cfg.compute_per_field },
+                StatTag::App,
+            ));
+            copier.before_access(&mut uops, stream.add(soff), fsz);
+            copier.copy(&mut uops, out_arena.add(ooff), stream.add(soff), fsz);
+            soff += fsz;
+            ooff += fsz;
+        }
+
+        if cfg.phase_markers {
+            marker(&mut uops, 13);
+            marker(&mut uops, 14);
+        }
+        // Application touches part of each deserialized field.
+        let mut aoff = 0u64;
+        for &fsz in &field_sizes {
+            let touch = ((fsz as f64 * cfg.touch_frac) as u64).max(8).min(fsz);
+            copier.before_access(&mut uops, out_arena.add(aoff), touch);
+            let mut t = 0u64;
+            while t < touch {
+                let a = out_arena.add(aoff + t);
+                let take = 8u64.min(64 - a.line_off()).min(touch - t);
+                uops.push(Uop::new(
+                    UopKind::Load { addr: a, size: take as u8 },
+                    StatTag::App,
+                ));
+                t += take.max(8);
+            }
+            aoff += fsz;
+        }
+        if cfg.phase_markers {
+            marker(&mut uops, 15);
+        }
+        // The message is consumed: its stream slot and deserialized object
+        // die here (arena destruction in Fleetbench terms), so the runtime
+        // can drop any still-lazy copies targeting them before the buffers
+        // are recycled — otherwise a recycled stream stays pinned as the
+        // live source of unconsumed object bytes.
+        if cfg.free_hints {
+            copier.free_hint(&mut uops, out_arena, ooff);
+            copier.free_hint(&mut uops, stream, off);
+        }
+        // Occasionally reuse the stream from offset 0 (next message).
+        let _ = r.random_range(0..4u32);
+    }
+    fence(&mut uops, StatTag::App);
+    marker(&mut uops, 1);
+    (uops, pokes, copier)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::marker_latencies;
+    use mcs_sim::config::SystemConfig;
+    use mcs_sim::program::FixedProgram;
+    use mcs_sim::system::System;
+    use mcsquare::{McSquareConfig, McSquareEngine};
+
+    fn small_cfg() -> ProtobufConfig {
+        ProtobufConfig { messages: 3, fields: 4, ..ProtobufConfig::default() }
+    }
+
+    fn run(mech: CopyMech) -> u64 {
+        let mut space = AddrSpace::new(PhysAddr(1 << 20), 1 << 28);
+        let needs_engine = mech.needs_engine();
+        let (uops, pokes, _) = protobuf_program(mech, &small_cfg(), &mut space);
+        let cfg = SystemConfig::tiny();
+        let mut sys = if needs_engine {
+            let e = McSquareEngine::new(McSquareConfig::default(), cfg.channels);
+            System::with_engine(cfg, vec![Box::new(FixedProgram::new(uops))], Box::new(e))
+        } else {
+            System::new(cfg, vec![Box::new(FixedProgram::new(uops))])
+        };
+        pokes.apply(&mut sys);
+        let st = sys.run(100_000_000).expect("finishes");
+        marker_latencies(&st.cores[0])[0]
+    }
+
+    #[test]
+    fn all_mechanisms_complete() {
+        assert!(run(CopyMech::Native) > 0);
+        assert!(run(CopyMech::mcsquare_1k()) > 0);
+        assert!(run(CopyMech::Zio) > 0);
+    }
+
+    #[test]
+    fn zio_cannot_elide_sub_page_copies() {
+        let mut space = AddrSpace::new(PhysAddr(1 << 20), 1 << 28);
+        let (_, _, copier) = protobuf_program(CopyMech::Zio, &small_cfg(), &mut space);
+        let zs = copier.zio_stats().expect("zio runtime");
+        assert_eq!(zs.pages_elided, 0, "Fig. 14: all protobuf copies are sub-page");
+        assert!(zs.fallbacks > 0);
+    }
+
+    #[test]
+    fn mcsquare_interposes_large_fields_only() {
+        let mut space = AddrSpace::new(PhysAddr(1 << 20), 1 << 28);
+        let (uops, _, copier) =
+            protobuf_program(CopyMech::mcsquare_1k(), &small_cfg(), &mut space);
+        let mclazys = uops.iter().filter(|u| matches!(u.kind, UopKind::Mclazy { .. })).count();
+        assert!(mclazys > 0, "the ≥1KB majority goes lazy");
+        assert!(copier.calls > 0);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut s1 = AddrSpace::new(PhysAddr(1 << 20), 1 << 28);
+        let mut s2 = AddrSpace::new(PhysAddr(1 << 20), 1 << 28);
+        let (u1, _, _) = protobuf_program(CopyMech::Native, &small_cfg(), &mut s1);
+        let (u2, _, _) = protobuf_program(CopyMech::Native, &small_cfg(), &mut s2);
+        assert_eq!(u1, u2);
+    }
+}

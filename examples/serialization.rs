@@ -1,0 +1,58 @@
+//! Serialization example: the paper's headline use case (§V-B, Fig. 14).
+//!
+//! Runs the Fleetbench-like Protobuf workload three ways — plain memcpy,
+//! zIO-style elision, and (MC)² through the 1 KB interposer — and prints
+//! the runtimes side by side.
+//!
+//! Run with: `cargo run --release --example serialization`
+
+use mcs_sim::alloc::AddrSpace;
+use mcs_sim::config::SystemConfig;
+use mcs_sim::program::FixedProgram;
+use mcs_sim::system::System;
+use mcs_workloads::common::marker_latencies;
+use mcs_workloads::protobuf::{protobuf_program, ProtobufConfig};
+use mcs_workloads::CopyMech;
+use mcsquare::{McSquareConfig, McSquareEngine};
+
+fn run(mech: CopyMech, wcfg: &ProtobufConfig) -> (u64, String) {
+    let mut space = AddrSpace::dram_3gb();
+    let needs_engine = mech.needs_engine();
+    let (uops, pokes, copier) = protobuf_program(mech, wcfg, &mut space);
+    let note = match copier.zio_stats() {
+        Some(z) => format!("zio: {} elisions, {} fallbacks", z.elisions, z.fallbacks),
+        None => format!("{} copies, {} bytes", copier.calls, copier.bytes_copied),
+    };
+    let cfg = SystemConfig::table1_one_core();
+    let mut sys = if needs_engine {
+        let e = McSquareEngine::new(McSquareConfig::default(), cfg.channels);
+        System::with_engine(cfg, vec![Box::new(FixedProgram::new(uops))], Box::new(e))
+    } else {
+        System::new(cfg, vec![Box::new(FixedProgram::new(uops))])
+    };
+    pokes.apply(&mut sys);
+    let stats = sys.run(10_000_000_000).expect("finishes");
+    (marker_latencies(&stats.cores[0])[0], note)
+}
+
+fn main() {
+    let wcfg = ProtobufConfig { messages: 48, fields: 8, ..ProtobufConfig::default() };
+    println!("Protobuf-style serialize/deserialize, {} messages × {} fields", wcfg.messages, wcfg.fields);
+
+    let (base, note) = run(CopyMech::Native, &wcfg);
+    println!("  baseline memcpy : {:>9} cycles   ({note})", base);
+
+    let (zio, note) = run(CopyMech::Zio, &wcfg);
+    println!(
+        "  zIO             : {:>9} cycles   {:+.1}%  ({note})",
+        zio,
+        (zio as f64 / base as f64 - 1.0) * 100.0
+    );
+
+    let (mc2, note) = run(CopyMech::mcsquare_1k(), &wcfg);
+    println!(
+        "  (MC)^2          : {:>9} cycles   speedup {:.2}x  ({note})",
+        mc2,
+        base as f64 / mc2 as f64
+    );
+}

@@ -1,0 +1,3 @@
+//! Umbrella crate; see sub-crates.
+pub use mcs_sim as sim;
+pub use mcsquare as core;
