@@ -32,6 +32,11 @@ pub const ENTRY_BYTES: u64 = 16;
 /// Maximum size a single entry can track: 2 MB, the 21-bit size field.
 pub const MAX_ENTRY_SIZE: u64 = PAGE_2M;
 
+/// Hardware rows needed to track `len` contiguous bytes.
+fn hw_rows(len: u64) -> usize {
+    (len.div_ceil(MAX_ENTRY_SIZE)) as usize
+}
+
 /// Why an insertion could not proceed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CttError {
@@ -115,9 +120,9 @@ impl Ctt {
         self.capacity
     }
 
-    /// Fractional occupancy.
+    /// Fractional occupancy, in hardware rows (drives the drain policy).
     pub fn occupancy(&self) -> f64 {
-        self.len() as f64 / self.capacity as f64
+        self.hw_entries() as f64 / self.capacity as f64
     }
 
     /// Total destination bytes currently tracked.
@@ -125,12 +130,21 @@ impl Ctt {
         self.map.covered_bytes()
     }
 
+    /// Number of hardware table rows the live segments occupy. The 21-bit
+    /// size field caps one row at [`MAX_ENTRY_SIZE`] (2 MB), so a merged
+    /// segment wider than that is stored as several back-to-back rows:
+    /// `ceil(len / MAX_ENTRY_SIZE)` per segment.
+    pub fn hw_entries(&self) -> usize {
+        self.map.iter().map(|(r, _)| hw_rows(r.len())).sum()
+    }
+
     /// Insert a prospective copy `size` bytes from `src` to `dst`.
     ///
     /// Applies chain collapsing and destination-overlap trimming. Copies
     /// larger than [`MAX_ENTRY_SIZE`] are accepted and split into multiple
-    /// entries (the software wrapper already splits at page granularity,
-    /// so this is belt and braces).
+    /// hardware rows — a segment wider than 2 MB counts as several entries
+    /// toward capacity (see [`Ctt::hw_entries`]); the software wrapper
+    /// already splits at page granularity, so this is belt and braces.
     ///
     /// # Errors
     /// * [`CttError::Full`] if the table cannot hold the resulting entries.
@@ -138,7 +152,7 @@ impl Ctt {
     ///   existing entry's source (the caller must flush those lines first).
     pub fn try_insert(&mut self, dst: PhysAddr, src: PhysAddr, size: u64) -> Result<(), CttError> {
         assert!(dst.is_aligned(CACHELINE), "MCLAZY destination must be line aligned");
-        assert!(size > 0 && size % CACHELINE == 0, "MCLAZY size must be in whole lines");
+        assert!(size > 0 && size.is_multiple_of(CACHELINE), "MCLAZY size must be in whole lines");
         let dst_r = ByteRange::sized(dst.0, size);
         let src_r = ByteRange::sized(src.0, size);
         assert!(!dst_r.overlaps(&src_r), "memcpy buffers must not overlap");
@@ -169,10 +183,13 @@ impl Ctt {
             pieces.push((ByteRange::new(d0, d0 + (src_r.end - cursor)), cursor));
         }
 
-        // Capacity check: conservative upper bound on resulting segments.
-        // (Overlap removal can split one existing entry into two; merging
-        // can reduce the count — we bound by current + new pieces + 1.)
-        if self.len() + pieces.len() + 1 > self.capacity {
+        // Capacity check: conservative upper bound on resulting hardware
+        // rows. Each new piece costs ceil(len / MAX_ENTRY_SIZE) rows (the
+        // 21-bit size field). Overlap removal can split one existing entry
+        // into two; merging can reduce the count — we bound by current +
+        // new rows + 1.
+        let new_rows: usize = pieces.iter().map(|(r, _)| hw_rows(r.len())).sum();
+        if self.hw_entries() + new_rows + 1 > self.capacity {
             self.stats.full_rejects += 1;
             return Err(CttError::Full);
         }

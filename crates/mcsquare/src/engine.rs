@@ -116,6 +116,11 @@ pub struct McSquareEngine {
     next_tag: u64,
     drains: Vec<Vec<DrainJob>>,
     n: Counters,
+    /// BPQ entries `(mcid, line)` that were releasable at the previous
+    /// `validate` call. `bpq_release_tick` runs every cycle, so an entry
+    /// still releasable a full validation period later is stuck.
+    #[cfg(feature = "check-invariants")]
+    releasable_memo: std::collections::HashSet<(usize, u64)>,
 }
 
 impl McSquareEngine {
@@ -133,6 +138,8 @@ impl McSquareEngine {
             channels,
             cfg,
             n: Counters::default(),
+            #[cfg(feature = "check-invariants")]
+            releasable_memo: std::collections::HashSet::new(),
         }
     }
 
@@ -680,6 +687,7 @@ impl CopyEngine for McSquareEngine {
             ("ctt_peak_entries".into(), s.peak_segments),
             ("ctt_freed_entries".into(), s.freed_entries),
             ("ctt_live_entries".into(), self.ctt.len() as u64),
+            ("ctt_hw_entries".into(), self.ctt.hw_entries() as u64),
             ("bounces_sent".into(), c.bounces_sent),
             ("bounce_serves".into(), c.bounce_serves),
             ("recon_demand".into(), c.recon_demand),
@@ -696,6 +704,115 @@ impl CopyEngine for McSquareEngine {
             ("mclazy_acked".into(), c.mclazy_acked),
             ("bpq_peak".into(), self.bpqs.iter().map(|b| b.peak as u64).max().unwrap_or(0)),
         ]
+    }
+
+    /// Audit the engine's internal bookkeeping (the `check-invariants`
+    /// feature): CTT structural invariants, pin/reconstruction agreement,
+    /// tag liveness, arming bounds, and BPQ forward progress.
+    #[cfg(feature = "check-invariants")]
+    fn validate(&mut self, now: Cycle) -> Result<(), String> {
+        self.ctt.check_invariants()?;
+
+        // The pin multiset is exactly the union of in-flight
+        // reconstructions' pinned source lines (unpinned when the copy
+        // data is captured). A mismatch means a leaked or double-freed
+        // pin, which would wedge BPQ releases or MCLAZY arming forever.
+        let mut want: HashMap<u64, usize> = HashMap::new();
+        for r in self.recons.values() {
+            for l in &r.pinned {
+                *want.entry(l.0).or_insert(0) += 1;
+            }
+        }
+        if want != self.pins {
+            return Err(format!(
+                "pin ledger disagrees with reconstructions at cycle {now}: \
+                 pins {:?} vs pinned-by-recons {:?}",
+                self.pins, want
+            ));
+        }
+
+        for (line, r) in &self.recons {
+            if matches!(r.state, ReconState::Filling) {
+                if r.outstanding == 0 {
+                    return Err(format!(
+                        "recon of line {line:#x} is Filling with zero \
+                         outstanding fragments at cycle {now}"
+                    ));
+                }
+                if r.outstanding as usize > r.pinned.len() {
+                    return Err(format!(
+                        "recon of line {line:#x} has more outstanding \
+                         fragments ({}) than pinned sources ({}) at cycle {now}",
+                        r.outstanding,
+                        r.pinned.len()
+                    ));
+                }
+            }
+        }
+
+        // Every local-fragment tag must point at a live Filling recon;
+        // a dangling tag means the DRAM read's result will be dropped and
+        // the reconstruction can never complete.
+        for (tag, kind) in &self.tags {
+            if let TagKind::Frag { dest_line, .. } = kind {
+                match self.recons.get(&dest_line.0) {
+                    Some(r) if matches!(r.state, ReconState::Filling) => {}
+                    other => {
+                        return Err(format!(
+                            "fragment tag {tag} targets line {:#x} with no \
+                             Filling recon ({other:?}) at cycle {now}",
+                            dest_line.0
+                        ));
+                    }
+                }
+            }
+        }
+
+        for (id, rem) in &self.arming {
+            if *rem > self.channels as u32 {
+                return Err(format!(
+                    "MCLAZY {id} arming count {rem} exceeds {} controllers \
+                     at cycle {now}",
+                    self.channels
+                ));
+            }
+        }
+
+        // BPQ forward progress: `bpq_release_tick` runs every cycle, so an
+        // entry whose release condition held at the previous audit and
+        // still holds now was skipped — a stuck entry (it would deadlock
+        // fences waiting on the held write).
+        let mut releasable = std::collections::HashSet::new();
+        for (mcid, bpq) in self.bpqs.iter().enumerate() {
+            for e in bpq.iter() {
+                if !self.pins.contains_key(&e.line.0)
+                    && self.ctt.src_overlapping(e.line, CACHELINE).is_empty()
+                {
+                    releasable.insert((mcid, e.line.0));
+                }
+            }
+        }
+        if let Some((mcid, line)) = releasable.intersection(&self.releasable_memo).next() {
+            return Err(format!(
+                "BPQ entry for line {line:#x} at controller {mcid} has been \
+                 releasable across two audits without being released (stuck) \
+                 at cycle {now}"
+            ));
+        }
+        self.releasable_memo = releasable;
+        Ok(())
+    }
+
+    /// Destination lines with an active (not superseded) reconstruction.
+    /// While one is in flight every read of the line joins the recon, so
+    /// no cache may hold a dirty copy.
+    #[cfg(feature = "check-invariants")]
+    fn reconstructing_lines(&self) -> Vec<PhysAddr> {
+        self.recons
+            .iter()
+            .filter(|(_, r)| matches!(r.state, ReconState::Filling) && !r.superseded)
+            .map(|(l, _)| PhysAddr(*l))
+            .collect()
     }
 }
 

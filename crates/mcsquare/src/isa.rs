@@ -63,7 +63,7 @@ pub fn mclazy(dst: PhysAddr, src: PhysAddr, size: u64, tag: StatTag) -> Result<U
     if !dst.is_aligned(CACHELINE) {
         return Err(IsaError::UnalignedDest(dst));
     }
-    if size == 0 || size % CACHELINE != 0 || size >> SIZE_BITS != 0 {
+    if size == 0 || !size.is_multiple_of(CACHELINE) || size >> SIZE_BITS != 0 {
         return Err(IsaError::BadSize(size));
     }
     if dst.0 < src.0 + size && src.0 < dst.0 + size {

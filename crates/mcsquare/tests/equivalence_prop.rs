@@ -228,3 +228,165 @@ proptest! {
         prop_assert_eq!(eager, lazy);
     }
 }
+
+// ---------------------------------------------------------------------------
+// CTT-level properties: MAX_ENTRY_SIZE row splitting and NeedsFlush
+// round-trips. Multi-megabyte copies are impractical through the
+// cycle-accurate system, so these drive the table directly.
+// ---------------------------------------------------------------------------
+
+mod ctt_props {
+    use mcs_sim::addr::{PhysAddr, CACHELINE};
+    use mcsquare::ctt::{Ctt, CttError, MAX_ENTRY_SIZE};
+    use mcsquare::ranges::ByteRange;
+    use proptest::prelude::*;
+
+    const DST: u64 = 0x1000_0000;
+    const SRC: u64 = 0x2000_0000;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+        /// A single copy straddling the 21-bit size limit stays one
+        /// segment but costs ceil(size / MAX_ENTRY_SIZE) hardware rows.
+        #[test]
+        fn oversized_copy_splits_into_hw_rows(
+            rows in 1u64..=3,
+            delta_lines in -2i64..=2,
+        ) {
+            let size = ((rows * MAX_ENTRY_SIZE) as i64 + delta_lines * CACHELINE as i64)
+                .max(CACHELINE as i64) as u64;
+            let mut c = Ctt::new(64);
+            c.try_insert(PhysAddr(DST), PhysAddr(SRC), size).unwrap();
+            prop_assert_eq!(c.len(), 1, "one contiguous segment");
+            prop_assert_eq!(c.tracked_bytes(), size);
+            prop_assert_eq!(c.hw_entries() as u64, size.div_ceil(MAX_ENTRY_SIZE));
+            prop_assert!((c.occupancy() - c.hw_entries() as f64 / 64.0).abs() < 1e-12);
+            prop_assert!(c.check_invariants().is_ok());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+        /// Back-to-back page-granularity inserts (the software wrapper's
+        /// splitting) merge into one wide segment whose hardware cost is
+        /// still counted in 2 MB rows.
+        #[test]
+        fn merged_chunks_are_accounted_in_hw_rows(k in 1u64..=6) {
+            let chunk = MAX_ENTRY_SIZE / 2; // 1 MB chunks
+            let mut c = Ctt::new(64);
+            for i in 0..k {
+                c.try_insert(
+                    PhysAddr(DST + i * chunk),
+                    PhysAddr(SRC + i * chunk),
+                    chunk,
+                )
+                .unwrap();
+            }
+            prop_assert_eq!(c.len(), 1, "contiguous src+dst chunks merge");
+            prop_assert_eq!(c.tracked_bytes(), k * chunk);
+            prop_assert_eq!(c.hw_entries() as u64, (k * chunk).div_ceil(MAX_ENTRY_SIZE));
+            prop_assert!(c.check_invariants().is_ok());
+        }
+    }
+
+    #[test]
+    fn capacity_counts_hw_rows_not_segments() {
+        // Capacity 3 with the conservative +1 headroom: a 4 MB + one-line
+        // copy needs 3 rows and is rejected outright, while 2 MB copies
+        // (one row each) fit until the rows run out.
+        let mut c = Ctt::new(3);
+        assert_eq!(
+            c.try_insert(PhysAddr(DST), PhysAddr(SRC), 2 * MAX_ENTRY_SIZE + CACHELINE),
+            Err(CttError::Full),
+        );
+        c.try_insert(PhysAddr(DST), PhysAddr(SRC), MAX_ENTRY_SIZE).unwrap();
+        // Non-adjacent second entry: no merge, second row.
+        c.try_insert(
+            PhysAddr(DST + 8 * MAX_ENTRY_SIZE),
+            PhysAddr(SRC + 8 * MAX_ENTRY_SIZE),
+            MAX_ENTRY_SIZE,
+        )
+        .unwrap();
+        assert_eq!(c.hw_entries(), 2);
+        assert_eq!(
+            c.try_insert(
+                PhysAddr(DST + 16 * MAX_ENTRY_SIZE),
+                PhysAddr(SRC + 16 * MAX_ENTRY_SIZE),
+                MAX_ENTRY_SIZE,
+            ),
+            Err(CttError::Full),
+        );
+        assert!(c.check_invariants().is_ok());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+        /// Inserting a copy whose destination overlaps a live entry's
+        /// source reports exactly the dependent destination lines; after
+        /// those lines are materialized (remove_dst) the retry succeeds.
+        #[test]
+        fn needs_flush_reports_exact_dependents_and_retry_succeeds(
+            aoff in 0u64..256,        // first copy's source offset (misaligned ok)
+            boff_lines in 0u64..4,    // first copy's dst offset, in lines
+            l1 in 1u64..=16,          // first copy length, in lines
+            delta in 0u64..1024,      // where in the source the new dst lands
+            l2 in 1u64..=8,           // second copy length, in lines
+            coff in 0u64..256,        // second copy's source offset
+        ) {
+            let a = 0x10_0000u64; // source region of copy 1
+            let b = 0x30_0000u64; // destination region of copy 1
+            let c_ = 0x50_0000u64; // source region of copy 2
+            let len1 = l1 * CACHELINE;
+            let len2 = l2 * CACHELINE;
+
+            let mut ctt = Ctt::new(64);
+            ctt.try_insert(PhysAddr(b + boff_lines * CACHELINE), PhysAddr(a + aoff), len1)
+                .unwrap();
+
+            // A line-aligned destination covering some byte of copy 1's
+            // source: the flush-before-insert rule must fire.
+            let hit = a + aoff + (delta % len1);
+            let dst2 = hit / CACHELINE * CACHELINE;
+            let want = ctt.dst_lines_with_src_in(ByteRange::sized(dst2, len2));
+            prop_assert!(!want.is_empty());
+
+            match ctt.try_insert(PhysAddr(dst2), PhysAddr(c_ + coff), len2) {
+                Err(CttError::NeedsFlush(lines)) => {
+                    prop_assert_eq!(&lines, &want, "reported lines must be the dependents");
+                    // Materialize each dependent line, as the controller's
+                    // flush reconstruction does, then retry.
+                    for l in &lines {
+                        ctt.remove_dst(*l, CACHELINE);
+                    }
+                    prop_assert!(ctt.check_invariants().is_ok());
+                    ctt.try_insert(PhysAddr(dst2), PhysAddr(c_ + coff), len2)
+                        .expect("retry after flushing dependents succeeds");
+                    // Copy 1 was line-aligned, so every flushed line was
+                    // fully tracked: the byte accounting is exact.
+                    prop_assert_eq!(
+                        ctt.tracked_bytes(),
+                        len1 - CACHELINE * lines.len() as u64 + len2
+                    );
+                    prop_assert!(!ctt.lookup_line(PhysAddr(dst2)).is_empty());
+                    prop_assert!(ctt.check_invariants().is_ok());
+                }
+                other => prop_assert!(false, "expected NeedsFlush, got {:?}", other),
+            }
+        }
+    }
+}
+
+#[test]
+fn regression_needs_flush_copy_into_live_source() {
+    // The destination of the second copy is the source of the first: the
+    // controller must flush (materialize) the dependent destination lines
+    // of copy 1 before the second MCLAZY can be tracked (§III-B3), and the
+    // result must still equal the eager machine's.
+    let ops = vec![
+        Op::Copy { d: 3, s: 0, doff: 0, soff: 0, len: 512 },
+        Op::Copy { d: 0, s: 5, doff: 0, soff: 0, len: 512 },
+    ];
+    let eager = run(&ops, false);
+    let lazy = run(&ops, true);
+    assert_eq!(eager, lazy);
+}

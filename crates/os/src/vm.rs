@@ -144,8 +144,8 @@ impl Kernel {
     /// buffers). Returns the physical base.
     pub fn mmap(&mut self, vm: &mut Vm, va: VirtAddr, len: u64, page: PageSize) -> PhysAddr {
         let psz = page.bytes();
-        assert!(va.0 % psz == 0, "va must be page aligned");
-        let len = (len + psz - 1) / psz * psz;
+        assert!(va.0.is_multiple_of(psz), "va must be page aligned");
+        let len = len.div_ceil(psz) * psz;
         let pa = self.frames.alloc(len, psz);
         for k in 0..(len / psz) {
             *self.refs.entry(pa.0 + k * psz).or_insert(0) += 1;

@@ -78,6 +78,7 @@ impl PhysAddr {
 
     /// Address `bytes` past this one.
     #[inline]
+    #[allow(clippy::should_implement_trait)] // deliberate: `a.add(n)` reads as pointer math
     pub fn add(self, bytes: u64) -> PhysAddr {
         PhysAddr(self.0 + bytes)
     }
@@ -126,6 +127,7 @@ impl LineAddr {
 
     /// The line `n` lines after this one.
     #[inline]
+    #[allow(clippy::should_implement_trait)] // deliberate: `l.add(n)` reads as pointer math
     pub fn add(self, n: u64) -> LineAddr {
         LineAddr(self.0 + n)
     }

@@ -90,6 +90,20 @@ impl L1 {
         self.mshrs.len()
     }
 
+    /// Resident lines as `(line address, modified, dirty)`, for the
+    /// runtime invariant checker.
+    #[cfg(feature = "check-invariants")]
+    pub fn check_lines(&self) -> Vec<(PhysAddr, bool, bool)> {
+        self.array.iter().map(|(a, l)| (a, l.modified, l.dirty)).collect()
+    }
+
+    /// Whether `line` has an MSHR allocated (a transaction in flight),
+    /// for the runtime invariant checker.
+    #[cfg(feature = "check-invariants")]
+    pub fn check_has_mshr(&self, line: PhysAddr) -> bool {
+        self.mshrs.contains_key(&line.0)
+    }
+
     /// Handle a core request. Returns `false` (without consuming) if the
     /// request cannot be accepted this cycle (MSHRs full); the caller
     /// retries later.

@@ -119,6 +119,27 @@ impl Llc {
         Node::Mc(channel_of(line, self.channels))
     }
 
+    /// Directory state of resident lines as `(line address, owner,
+    /// sharers bitmask)`, for the runtime invariant checker.
+    #[cfg(feature = "check-invariants")]
+    pub fn check_lines(&self) -> Vec<(PhysAddr, Option<usize>, u32)> {
+        self.array.iter().map(|(a, l)| (a, l.owner, l.sharers)).collect()
+    }
+
+    /// Whether `line` is resident or has a transaction in flight, for the
+    /// runtime invariant checker (inclusion checks).
+    #[cfg(feature = "check-invariants")]
+    pub fn check_tracks(&self, line: PhysAddr) -> bool {
+        self.array.peek(line).is_some() || self.mshrs.contains_key(&line.0)
+    }
+
+    /// Whether `line` has a transaction in flight, for the runtime
+    /// invariant checker.
+    #[cfg(feature = "check-invariants")]
+    pub fn check_has_mshr(&self, line: PhysAddr) -> bool {
+        self.mshrs.contains_key(&line.0)
+    }
+
     /// Send a write to memory whose acceptance must be acknowledged back to
     /// `core` as the completion of CLWB uop `id`.
     fn send_acked_write(

@@ -63,8 +63,12 @@ impl StridePrefetcher {
             if s.confidence >= 2 {
                 let stride = s.stride;
                 return (1..=self.degree as i64)
-                    .map(|k| PhysAddr(((l + k * stride) as u64) * CACHELINE))
-                    .filter(|a| (l + (a.0 / CACHELINE) as i64 * 0) >= 0) // keep non-negative
+                    .filter_map(|k| {
+                        // A downward stream near address zero would wrap on
+                        // the cast; drop those candidates.
+                        let tgt = l + k * stride;
+                        (tgt >= 0).then(|| PhysAddr(tgt as u64 * CACHELINE))
+                    })
                     .collect();
             }
             return Vec::new();

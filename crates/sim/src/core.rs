@@ -273,16 +273,14 @@ impl Core {
                 continue;
             }
             match e.kind {
-                RobKind::Compute => {
-                    if e.ready_at.is_some_and(|r| r <= now) {
+                RobKind::Compute
+                    if e.ready_at.is_some_and(|r| r <= now) => {
                         e.done = true;
                     }
-                }
-                RobKind::Fence => {
-                    if drained && no_loads {
+                RobKind::Fence
+                    if drained && no_loads => {
                         e.done = true;
                     }
-                }
                 RobKind::Flush => {
                     // Completed below (needs head-of-ROB knowledge).
                 }
@@ -741,8 +739,13 @@ impl Core {
                         StallReason::Fence
                     }
                 }
-                RobKind::Compute => StallReason::Frontend,
-                _ => StallReason::Frontend,
+                // A compute (or other non-memory) head stalls retirement by
+                // itself; if dispatch was also blocked on a concrete
+                // resource this cycle (ROB full behind a long compute, store
+                // buffer full), that resource is the more useful
+                // attribution than the generic front-end bucket.
+                RobKind::Compute => dispatch_stall.unwrap_or(StallReason::Frontend),
+                _ => dispatch_stall.unwrap_or(StallReason::Frontend),
             };
             self.stats.bump_stall(reason);
             if matches!(reason, StallReason::LoadMiss) {

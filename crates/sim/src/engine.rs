@@ -116,6 +116,24 @@ pub trait CopyEngine: std::fmt::Debug {
     fn counters(&self) -> Vec<(String, u64)> {
         Vec::new()
     }
+
+    /// Check the engine's internal invariants (called periodically by the
+    /// system's runtime checker). Returns a description of the first
+    /// violated invariant, if any.
+    #[cfg(feature = "check-invariants")]
+    fn validate(&mut self, now: Cycle) -> Result<(), String> {
+        let _ = now;
+        Ok(())
+    }
+
+    /// Lines the engine is currently reconstructing from DRAM (the
+    /// destination lines of in-flight recons). While a reconstruction is
+    /// in flight no core may hold a dirty copy of the line — the engine's
+    /// write would race the cache's writeback.
+    #[cfg(feature = "check-invariants")]
+    fn reconstructing_lines(&self) -> Vec<PhysAddr> {
+        Vec::new()
+    }
 }
 
 /// The no-op engine: an unmodified memory controller (the baseline).

@@ -42,6 +42,8 @@ pub mod addr;
 pub mod alloc;
 pub mod bus;
 pub mod cache;
+#[cfg(feature = "check-invariants")]
+pub mod check;
 pub mod config;
 pub mod core;
 pub mod data;

@@ -27,7 +27,7 @@ impl<T> DelayQueue<T> {
     /// Enqueue a message at time `now`; it is deliverable at `now + latency`.
     pub fn push(&mut self, now: Cycle, msg: T) {
         let ready = now + self.latency;
-        debug_assert!(self.q.back().map_or(true, |(r, _)| *r <= ready));
+        debug_assert!(self.q.back().is_none_or(|(r, _)| *r <= ready));
         self.q.push_back((ready, msg));
     }
 

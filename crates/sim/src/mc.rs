@@ -317,11 +317,10 @@ impl MemCtrl {
     fn schedule_dram(&mut self, now: Cycle, mem: &mut SparseMem) {
         // Update drain mode hysteresis.
         let occ = self.wpq.len() as f64 / self.cfg.wpq_cap as f64;
-        if occ >= self.cfg.wpq_drain_hi || self.rpq.is_empty() {
-            if !self.wpq.is_empty() {
+        if (occ >= self.cfg.wpq_drain_hi || self.rpq.is_empty())
+            && !self.wpq.is_empty() {
                 self.draining = true;
             }
-        }
         if occ <= self.cfg.wpq_drain_lo && !self.rpq.is_empty() {
             self.draining = false;
         }
@@ -365,7 +364,7 @@ impl MemCtrl {
                     .iter()
                     .position(|e| ready(e) && self.dram.is_row_hit(e.addr))
             })
-            .or_else(|| self.rpq.iter().position(|e| ready(e)));
+            .or_else(|| self.rpq.iter().position(ready));
         let Some(idx) = pick else { return false };
         let e = self.rpq.remove(idx).expect("index valid");
         let (done, outcome) = self.dram.access(now, e.addr);

@@ -47,6 +47,10 @@ pub struct CoreStats {
     pub mem_stall_by_tag: BTreeMap<StatTag, u64>,
     /// Zero-retire cycles broken down by reason.
     pub stalls: BTreeMap<StallReason, u64>,
+    /// Total zero-retire cycles. Each stalled cycle is attributed to
+    /// exactly one [`StallReason`], so `stalled_cycles ==
+    /// stalls.values().sum()` always (see [`CoreStats::check_stall_accounting`]).
+    pub stalled_cycles: u64,
     /// Cycles in which at least one load miss was outstanding, per tag
     /// (the paper's "Mem miss cycles", Fig. 3).
     pub mem_busy_by_tag: BTreeMap<StatTag, u64>,
@@ -73,6 +77,32 @@ impl CoreStats {
     /// Add a stall-reason cycle.
     pub fn bump_stall(&mut self, r: StallReason) {
         *self.stalls.entry(r).or_insert(0) += 1;
+        self.stalled_cycles += 1;
+    }
+
+    /// Sum of the per-reason stall histogram.
+    pub fn total_stalls(&self) -> u64 {
+        self.stalls.values().sum()
+    }
+
+    /// Verify the stall-attribution invariant: every stalled cycle is
+    /// attributed to exactly one reason, and a core cannot stall for more
+    /// cycles than it ran.
+    pub fn check_stall_accounting(&self) -> Result<(), String> {
+        let sum = self.total_stalls();
+        if sum != self.stalled_cycles {
+            return Err(format!(
+                "stall histogram sums to {sum} but stalled_cycles is {}",
+                self.stalled_cycles
+            ));
+        }
+        if self.stalled_cycles > self.cycles {
+            return Err(format!(
+                "stalled_cycles {} exceeds total cycles {}",
+                self.stalled_cycles, self.cycles
+            ));
+        }
+        Ok(())
     }
 }
 

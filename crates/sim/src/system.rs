@@ -62,6 +62,8 @@ pub struct System {
     l1_to_llc_resp: Vec<DelayQueue<L1ToLlc>>,
     llc_to_l1: Vec<DelayQueue<LlcToL1>>,
     fast_forward: bool,
+    #[cfg(feature = "check-invariants")]
+    checker: crate::check::Checker,
 }
 
 impl std::fmt::Debug for System {
@@ -117,6 +119,8 @@ impl System {
             l1_to_llc_resp: mk(n, cfg.links.l1_llc),
             llc_to_l1: mk(n, cfg.links.l1_llc),
             fast_forward: true,
+            #[cfg(feature = "check-invariants")]
+            checker: crate::check::Checker::default(),
             cfg,
         }
     }
@@ -256,6 +260,8 @@ impl System {
                 self.llc_to_l1[l1].push_after(now, extra, m);
             }
             for (pkt, extra) in out.to_bus {
+                #[cfg(feature = "check-invariants")]
+                self.checker.observe_send(&pkt);
                 self.bus.send(now, pkt, extra);
             }
         }
@@ -268,7 +274,17 @@ impl System {
             self.mcs[i].tick(now, &mut input, self.engine.as_mut(), &mut self.mem, &mut out);
             self.bus.to_mc[i] = input;
             for (pkt, extra) in out {
+                #[cfg(feature = "check-invariants")]
+                self.checker.observe_send(&pkt);
                 self.bus.send(now, pkt, extra);
+            }
+        }
+
+        #[cfg(feature = "check-invariants")]
+        {
+            self.checker.ticks += 1;
+            if self.checker.ticks.is_multiple_of(1024) {
+                self.validate_invariants(false);
             }
         }
 
@@ -408,6 +424,8 @@ impl System {
                 // A few grace ticks so posted work settles, then stop.
                 stable += 1;
                 if stable >= 2 {
+                    #[cfg(feature = "check-invariants")]
+                    self.validate_invariants(true);
                     return Ok(self.collect_stats());
                 }
             } else {
@@ -493,6 +511,151 @@ impl System {
     /// Whether every core's program completed (may still be draining).
     pub fn cores_finished(&self) -> bool {
         self.cores.iter().all(|c| c.finished())
+    }
+
+    /// Audit global invariants: coherence directory agreement, copy-engine
+    /// internal state, CTT/cache exclusivity, and stats sanity. Called
+    /// periodically from [`System::tick`] and, with `quiescent = true`
+    /// (which adds the strict end-state checks), when a run completes.
+    ///
+    /// # Panics
+    /// Panics describing the first violated invariant.
+    #[cfg(feature = "check-invariants")]
+    pub fn validate_invariants(&mut self, quiescent: bool) {
+        use std::collections::HashMap;
+
+        // --- Coherence: MSI single-owner + directory agreement ---------
+        // owners: line -> L1s holding it Modified; resident: line -> L1s
+        // holding it in any state (for inclusion).
+        let mut owners: HashMap<u64, Vec<usize>> = HashMap::new();
+        let mut resident: HashMap<u64, Vec<usize>> = HashMap::new();
+        let mut dirty_m: HashMap<u64, usize> = HashMap::new();
+        for (i, l1) in self.l1s.iter().enumerate() {
+            for (line, modified, dirty) in l1.check_lines() {
+                resident.entry(line.0).or_default().push(i);
+                if modified {
+                    owners.entry(line.0).or_default().push(i);
+                    if dirty {
+                        dirty_m.insert(line.0, i);
+                    }
+                }
+            }
+        }
+        for (line, who) in &owners {
+            assert!(
+                who.len() <= 1,
+                "invariant violation (coherence): line {:#x} held Modified by \
+                 multiple L1s {who:?} at cycle {}",
+                line,
+                self.now
+            );
+        }
+        let dir: HashMap<u64, (Option<usize>, u32)> = self
+            .llc
+            .check_lines()
+            .into_iter()
+            .map(|(a, owner, sharers)| (a.0, (owner, sharers)))
+            .collect();
+        for (line, who) in &owners {
+            let i = who[0];
+            let agrees = dir.get(line).is_some_and(|(owner, _)| *owner == Some(i));
+            // Mid-run, a recall/grant for the line may be in flight: the
+            // LLC then holds an MSHR serialising the transition.
+            let in_transition = !quiescent
+                && (self.llc.check_has_mshr(PhysAddr(*line)) || self.l1s[i].check_has_mshr(PhysAddr(*line)));
+            assert!(
+                agrees || in_transition,
+                "invariant violation (coherence): L1 {i} holds line {:#x} \
+                 Modified but the directory says {:?} and no transaction is \
+                 in flight, at cycle {}",
+                line,
+                dir.get(line),
+                self.now
+            );
+        }
+        // Inclusion: an L1-resident line is tracked by the inclusive LLC
+        // (resident, or mid-eviction with an MSHR serialising it).
+        for (line, who) in &resident {
+            assert!(
+                self.llc.check_tracks(PhysAddr(*line)),
+                "invariant violation (coherence): line {:#x} resident in \
+                 L1s {who:?} but not tracked by the inclusive LLC, at cycle {}",
+                line,
+                self.now
+            );
+        }
+
+        // --- Copy engine: internal audit + CTT/cache exclusivity -------
+        if let Err(msg) = self.engine.validate(self.now) {
+            panic!("invariant violation (copy engine) at cycle {}: {msg}", self.now);
+        }
+        for line in self.engine.reconstructing_lines() {
+            assert!(
+                !dirty_m.contains_key(&line.0),
+                "invariant violation (exclusivity): core {} holds a dirty \
+                 Modified copy of line {:#x} while the engine is \
+                 reconstructing it from the CTT, at cycle {}",
+                dirty_m[&line.0],
+                line.0,
+                self.now
+            );
+        }
+
+        // --- Stats: exact stall attribution + monotonic counters --------
+        if self.checker.core_snap.len() != self.cores.len() {
+            self.checker.core_snap = vec![(0, 0, 0); self.cores.len()];
+        }
+        for (i, c) in self.cores.iter().enumerate() {
+            if let Err(msg) = c.stats.check_stall_accounting() {
+                panic!("invariant violation (stats, core {i}) at cycle {}: {msg}", self.now);
+            }
+            let cur = (c.stats.cycles, c.stats.retired, c.stats.stalled_cycles);
+            let prev = self.checker.core_snap[i];
+            assert!(
+                cur.0 >= prev.0 && cur.1 >= prev.1 && cur.2 >= prev.2,
+                "invariant violation (stats, core {i}): counters went \
+                 backwards, {prev:?} -> {cur:?}, at cycle {}",
+                self.now
+            );
+            self.checker.core_snap[i] = cur;
+        }
+        let mem_cur = (
+            self.llc.stats.hits + self.llc.stats.misses,
+            self.mcs.iter().map(|m| m.stats.reads + m.stats.writes).sum::<u64>(),
+        );
+        assert!(
+            mem_cur.0 >= self.checker.mem_snap.0 && mem_cur.1 >= self.checker.mem_snap.1,
+            "invariant violation (stats): LLC/MC counters went backwards, \
+             {:?} -> {mem_cur:?}, at cycle {}",
+            self.checker.mem_snap,
+            self.now
+        );
+        self.checker.mem_snap = mem_cur;
+
+        // --- Quiescence: strict end-state checks ------------------------
+        if quiescent {
+            self.checker.assert_quiescent();
+            for (i, l1) in self.l1s.iter().enumerate() {
+                assert_eq!(
+                    l1.mshr_count(),
+                    0,
+                    "invariant violation (liveness): L1 {i} has MSHRs \
+                     outstanding in a quiescent system"
+                );
+            }
+            assert_eq!(
+                self.llc.mshr_count(),
+                0,
+                "invariant violation (liveness): LLC has MSHRs outstanding \
+                 in a quiescent system"
+            );
+            assert!(
+                self.engine.reconstructing_lines().is_empty(),
+                "invariant violation (liveness): reconstructions outstanding \
+                 in a quiescent system: {:?}",
+                self.engine.reconstructing_lines()
+            );
+        }
     }
 
     /// Collect statistics.

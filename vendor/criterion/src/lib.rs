@@ -1,0 +1,157 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface the bench targets use (`Criterion`,
+//! `benchmark_group`, `Bencher::iter`/`iter_batched`, the `criterion_group!`
+//! and `criterion_main!` macros) with a deliberately simple measurement
+//! loop: a short warmup, then a time-boxed measurement window, reporting
+//! the mean per-iteration time. No statistics, plots, or baselines — just
+//! enough to keep `cargo bench` runnable and the hot paths exercised.
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time spent measuring each benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+/// Upper bound on measured iterations (keeps slow sim benches bounded).
+const MAX_ITERS: u64 = 1000;
+
+/// How batched inputs are grouped (accepted, ignored).
+#[derive(Copy, Clone, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Drives one benchmark's measurement loop.
+pub struct Bencher {
+    iters: u64,
+    total: Duration,
+}
+
+impl Bencher {
+    fn new() -> Bencher {
+        Bencher { iters: 0, total: Duration::ZERO }
+    }
+
+    /// Measure `f` repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup (also primes caches/allocations).
+        let _ = std::hint::black_box(f());
+        let start = Instant::now();
+        while self.iters < MAX_ITERS && start.elapsed() < MEASURE_BUDGET {
+            let t0 = Instant::now();
+            let _ = std::hint::black_box(f());
+            self.total += t0.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    /// Measure `routine` over inputs built (untimed) by `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let _ = std::hint::black_box(routine(setup()));
+        let start = Instant::now();
+        while self.iters < MAX_ITERS && start.elapsed() < MEASURE_BUDGET {
+            let input = setup();
+            let t0 = Instant::now();
+            let _ = std::hint::black_box(routine(input));
+            self.total += t0.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.iters == 0 {
+            println!("{id}: no iterations measured");
+            return;
+        }
+        let per = self.total.as_nanos() as f64 / self.iters as f64;
+        println!("{id}: {per:.0} ns/iter ({} iters)", self.iters);
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, mut f: F) {
+    let mut b = Bencher::new();
+    f(&mut b);
+    b.report(id);
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion;
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(id, f);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_string(), _criterion: self }
+    }
+}
+
+/// A named group; measurement knobs are accepted and ignored.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in is already time-boxed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), f);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_api_runs() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(10);
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

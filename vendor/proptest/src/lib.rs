@@ -1,0 +1,607 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The workspace builds without network access, so the real proptest
+//! cannot be fetched. This crate reimplements the subset the test suites
+//! use: the [`Strategy`] trait with `prop_map`/`prop_flat_map`/
+//! `prop_filter_map`/`prop_filter`/`boxed`, integer-range / tuple / `Just`
+//! / `any` / `prop::collection::vec` / `prop::bool::ANY` strategies, the
+//! [`proptest!`]/[`prop_assert!`]/[`prop_assert_eq!`]/[`prop_assume!`]/
+//! [`prop_oneof!`] macros, and [`ProptestConfig`].
+//!
+//! Differences from upstream, on purpose:
+//! * cases are generated from a per-test deterministic seed (derived from
+//!   the test name), so runs are reproducible without a regressions file —
+//!   `.proptest-regressions` files are ignored;
+//! * no shrinking: a failure prints the full generated inputs instead of a
+//!   minimised counterexample (the `mcs-check` model checker provides
+//!   minimal traces for the CTT where that matters).
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+pub mod test_runner;
+
+pub use test_runner::TestRng;
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases each test must pass.
+    pub cases: u32,
+    /// Maximum rejects (filter/assume failures) tolerated before panicking.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, max_global_rejects: 65_536 }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case was rejected (`prop_assume!` / filter); try another input.
+    Reject(String),
+    /// The case failed (`prop_assert!`).
+    Fail(String),
+}
+
+/// Panic once a test has burned through its rejection budget.
+#[doc(hidden)]
+pub fn reject_guard(name: &str, rejects: u32, cfg: &ProptestConfig) {
+    if rejects > cfg.max_global_rejects {
+        panic!("proptest `{name}`: too many input rejections ({rejects}); strategy filters are too narrow");
+    }
+}
+
+/// A generator of random values of one type.
+///
+/// Object-safe core (`new_value`) plus `Sized`-only combinators, so
+/// `Box<dyn Strategy<Value = T>>` works as [`BoxedStrategy`].
+pub trait Strategy {
+    /// The generated type.
+    type Value: fmt::Debug;
+
+    /// Generate one value, or `None` to reject this attempt (the runner
+    /// retries with fresh randomness, within the rejection budget).
+    fn new_value(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    /// Transform generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: fmt::Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate a value, then generate from a strategy derived from it.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Transform values, rejecting those mapped to `None`.
+    fn prop_filter_map<O, F>(self, reason: &'static str, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        O: fmt::Debug,
+        F: Fn(Self::Value) -> Option<O>,
+    {
+        FilterMap { inner: self, f, _reason: reason }
+    }
+
+    /// Reject values failing the predicate.
+    fn prop_filter<F>(self, reason: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, f, _reason: reason }
+    }
+
+    /// Type-erase the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T: fmt::Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> Option<T> {
+        (**self).new_value(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: fmt::Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn new_value(&self, rng: &mut TestRng) -> Option<O> {
+        self.inner.new_value(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn new_value(&self, rng: &mut TestRng) -> Option<S2::Value> {
+        let mid = self.inner.new_value(rng)?;
+        (self.f)(mid).new_value(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+pub struct FilterMap<S, F> {
+    inner: S,
+    f: F,
+    _reason: &'static str,
+}
+
+impl<S, O, F> Strategy for FilterMap<S, F>
+where
+    S: Strategy,
+    O: fmt::Debug,
+    F: Fn(S::Value) -> Option<O>,
+{
+    type Value = O;
+    fn new_value(&self, rng: &mut TestRng) -> Option<O> {
+        (self.f)(self.inner.new_value(rng)?)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+    _reason: &'static str,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+        self.inner.new_value(rng).filter(&self.f)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + fmt::Debug>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> Option<$t> {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                Some(self.start + (rng.next_u64() % span) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> Option<$t> {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return Some(rng.next_u64() as $t);
+                }
+                Some(lo + (rng.next_u64() % (span + 1)) as $t)
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+// Signed ranges: compute the span with wrapping arithmetic (correct for
+// any lo <= hi thanks to two's complement) and offset from `lo`.
+macro_rules! signed_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> Option<$t> {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = self.end.wrapping_sub(self.start) as u64;
+                Some(self.start.wrapping_add((rng.next_u64() % span) as $t))
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> Option<$t> {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = hi.wrapping_sub(lo) as u64;
+                if span == u64::MAX {
+                    return Some(rng.next_u64() as $t);
+                }
+                Some(lo.wrapping_add((rng.next_u64() % (span + 1)) as $t))
+            }
+        }
+    )*};
+}
+signed_range_strategy!(i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                Some(($($name.new_value(rng)?,)+))
+            }
+        }
+    };
+}
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, G);
+
+/// Types with a canonical full-domain strategy (see [`any`]).
+pub trait Arbitrary: fmt::Debug + Sized {
+    /// Generate an unconstrained value.
+    fn generate(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn generate(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn generate(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy over a type's whole domain.
+pub struct ArbitraryStrategy<A>(PhantomData<A>);
+
+impl<A: Arbitrary> Strategy for ArbitraryStrategy<A> {
+    type Value = A;
+    fn new_value(&self, rng: &mut TestRng) -> Option<A> {
+        Some(A::generate(rng))
+    }
+}
+
+/// The canonical strategy for `A` (`any::<u8>()` etc).
+pub fn any<A: Arbitrary>() -> ArbitraryStrategy<A> {
+    ArbitraryStrategy(PhantomData)
+}
+
+/// Uniform choice among boxed alternative strategies ([`prop_oneof!`]).
+pub struct Union<T: fmt::Debug> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T: fmt::Debug> Union<T> {
+    /// Build from non-empty alternatives.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T: fmt::Debug> Strategy for Union<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> Option<T> {
+        let i = (rng.next_u64() % self.arms.len() as u64) as usize;
+        self.arms[i].new_value(rng)
+    }
+}
+
+/// Sub-strategy namespace (`prop::collection::vec`, `prop::bool::ANY`).
+pub mod prop {
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+        use std::ops::Range;
+
+        /// Vectors of `element` with length drawn from `len`.
+        pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+            assert!(len.start < len.end, "empty length range");
+            VecStrategy { element, len }
+        }
+
+        /// See [`vec`].
+        pub struct VecStrategy<S> {
+            element: S,
+            len: Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn new_value(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+                let span = (self.len.end - self.len.start) as u64;
+                let n = self.len.start + (rng.next_u64() % span) as usize;
+                (0..n).map(|_| self.element.new_value(rng)).collect()
+            }
+        }
+    }
+
+    pub mod bool {
+        use crate::{Strategy, TestRng};
+
+        /// Uniform `bool` strategy.
+        pub struct BoolAny;
+
+        /// The uniform `bool` strategy value (`prop::bool::ANY`).
+        pub const ANY: BoolAny = BoolAny;
+
+        impl Strategy for BoolAny {
+            type Value = bool;
+            fn new_value(&self, rng: &mut TestRng) -> Option<bool> {
+                Some(rng.next_u64() & 1 == 1)
+            }
+        }
+    }
+}
+
+/// Everything a test module needs.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, Union,
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(::std::vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Assert inside a proptest body; failures carry the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__l, __r) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{:?}` != `{:?}`", __l, __r
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{:?}` != `{:?}`: {}", __l, __r, ::std::format!($($fmt)+)
+        );
+    }};
+}
+
+/// Discard the current case and try another input.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject(
+                ::std::string::String::from(stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Define `#[test]` functions whose arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(cfg = ($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(cfg = ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::TestRng::from_name(stringify!($name));
+            let mut __done: u32 = 0;
+            let mut __rejects: u32 = 0;
+            while __done < __cfg.cases {
+                let __generated = (|| {
+                    ::core::option::Option::Some(($(
+                        $crate::Strategy::new_value(&($strat), &mut __rng)?,
+                    )+))
+                })();
+                let __vals = match __generated {
+                    ::core::option::Option::Some(v) => v,
+                    ::core::option::Option::None => {
+                        __rejects += 1;
+                        $crate::reject_guard(stringify!($name), __rejects, &__cfg);
+                        continue;
+                    }
+                };
+                let __repr = ::std::format!("{:#?}", &__vals);
+                let ($($pat,)+) = __vals;
+                let __outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(
+                        || -> ::core::result::Result<(), $crate::TestCaseError> {
+                            $body
+                            ::core::result::Result::Ok(())
+                        },
+                    ),
+                );
+                match __outcome {
+                    ::core::result::Result::Err(__payload) => {
+                        ::std::eprintln!(
+                            "proptest `{}` panicked on inputs:\n{}",
+                            stringify!($name),
+                            __repr
+                        );
+                        ::std::panic::resume_unwind(__payload);
+                    }
+                    ::core::result::Result::Ok(::core::result::Result::Err(
+                        $crate::TestCaseError::Reject(_),
+                    )) => {
+                        __rejects += 1;
+                        $crate::reject_guard(stringify!($name), __rejects, &__cfg);
+                    }
+                    ::core::result::Result::Ok(::core::result::Result::Err(
+                        $crate::TestCaseError::Fail(__msg),
+                    )) => {
+                        ::std::panic!(
+                            "proptest `{}` failed: {}\ninputs:\n{}",
+                            stringify!($name),
+                            __msg,
+                            __repr
+                        );
+                    }
+                    ::core::result::Result::Ok(::core::result::Result::Ok(())) => {
+                        __done += 1;
+                    }
+                }
+            }
+        }
+        $crate::__proptest_impl!(cfg = ($cfg); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn strategies_generate_in_range() {
+        let mut rng = crate::TestRng::from_name("basic");
+        for _ in 0..200 {
+            let v = (0u64..7).new_value(&mut rng).unwrap();
+            assert!(v < 7);
+            let w = (3u8..=5).new_value(&mut rng).unwrap();
+            assert!((3..=5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let s = (0u64..10)
+            .prop_flat_map(|lo| (Just(lo), lo..=20))
+            .prop_map(|(lo, hi)| (lo, hi))
+            .prop_filter_map("ordered", |(lo, hi)| if hi > lo { Some(hi - lo) } else { None });
+        let mut rng = crate::TestRng::from_name("combo");
+        let mut produced = 0;
+        for _ in 0..200 {
+            if let Some(d) = s.new_value(&mut rng) {
+                assert!(d >= 1 && d <= 20);
+                produced += 1;
+            }
+        }
+        assert!(produced > 50, "filter should keep most values");
+    }
+
+    #[test]
+    fn oneof_and_vec() {
+        let s = prop::collection::vec(prop_oneof![(0u32..4).prop_map(|x| x * 2), Just(99u32)], 1..8);
+        let mut rng = crate::TestRng::from_name("vecs");
+        for _ in 0..100 {
+            let v = s.new_value(&mut rng).unwrap();
+            assert!(!v.is_empty() && v.len() < 8);
+            assert!(v.iter().all(|&x| x == 99 || (x % 2 == 0 && x < 8)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+        #[test]
+        fn the_macro_itself_works(x in 0u64..50, flip in prop::bool::ANY) {
+            prop_assume!(x != 13);
+            prop_assert!(x < 50, "x = {}", x);
+            if flip {
+                prop_assert_eq!(x % 2, x % 2);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest `always_fails` failed")]
+    fn failures_panic_with_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
+            #[allow(dead_code)]
+            fn always_fails(x in 0u64..4) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

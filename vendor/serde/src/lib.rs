@@ -1,0 +1,27 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace uses `Serialize`/`Deserialize` purely as marker bounds
+//! (e.g. the `configs_are_serializable` compile-time check); no data is
+//! actually serialized. These traits therefore carry no methods. If a
+//! future PR needs real serialization, replace this stub with the real
+//! crate (or a vendored copy) — the bound-level API is compatible.
+
+/// Marker: the type could be serialized.
+pub trait Serialize {}
+
+/// Marker: the type could be deserialized from borrowed data.
+pub trait Deserialize<'de>: Sized {}
+
+pub mod de {
+    /// Marker: the type could be deserialized from owned data.
+    pub trait DeserializeOwned {}
+    impl<T> DeserializeOwned for T where T: for<'de> crate::Deserialize<'de> {}
+}
+
+// Derive macros live in the macro namespace; the traits above live in the
+// type namespace, so re-exporting both under the same names is fine (this
+// mirrors the real serde with the `derive` feature).
+pub use serde_derive::{Deserialize, Serialize};
+
+// Blanket impls for std types used inside derived containers are not
+// needed: the marker impls are unconditional on the container.

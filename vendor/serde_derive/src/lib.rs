@@ -1,0 +1,45 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! This workspace builds without network access, so the real serde cannot
+//! be fetched. The repo only uses `Serialize`/`Deserialize` as marker
+//! bounds (configs and stats are *serializable*, but nothing serializes
+//! them yet), so the derive only needs to emit empty marker impls.
+//!
+//! Limitations (checked against every use in the workspace): the derived
+//! type must be a non-generic `struct` or `enum`.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extract the type name following the `struct`/`enum`/`union` keyword,
+/// skipping attributes, doc comments, and visibility modifiers.
+fn type_name(input: TokenStream) -> String {
+    let mut iter = input.into_iter();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                match iter.next() {
+                    Some(TokenTree::Ident(name)) => return name.to_string(),
+                    other => panic!("expected type name after `{kw}`, got {other:?}"),
+                }
+            }
+        }
+    }
+    panic!("serde_derive stub: no struct/enum found in input")
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("valid impl tokens")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("valid impl tokens")
+}
