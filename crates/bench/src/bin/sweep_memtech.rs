@@ -1,0 +1,134 @@
+//! Memory-technology sensitivity sweep: re-runs the Fig. 10 copy-latency
+//! microbenchmark and the Fig. 12 sequential destination-access experiment
+//! on every [`MemTech`] backend (DDR4, DDR5, HBM2), with refresh enabled —
+//! the robustness question the single hardcoded DDR4 model could not ask.
+//!
+//! Emits `results/sweep_memtech_fig10.tsv` and
+//! `results/sweep_memtech_fig12.tsv`. Pass `--smoke` for a seconds-long CI
+//! variant (small sizes, all three backends, same code paths).
+
+use mcs_bench::{f3, fmt_size, ns, Job, Table};
+use mcs_sim::alloc::AddrSpace;
+use mcs_sim::config::{MemTech, SystemConfig};
+use mcs_sim::stats::RunStats;
+use mcs_workloads::common::marker_latencies;
+use mcs_workloads::micro::{copy_latency, seq_access};
+use mcs_workloads::CopyMech;
+use mcsquare::McSquareConfig;
+
+/// One simulated configuration point of either sweep.
+#[derive(Clone)]
+struct Point {
+    tech: MemTech,
+    mcsquare: bool,
+}
+
+fn mech_of(p: &Point) -> CopyMech {
+    if p.mcsquare {
+        CopyMech::McSquare { threshold: 0 }
+    } else {
+        CopyMech::Native
+    }
+}
+
+fn cfg_of(p: &Point) -> SystemConfig {
+    let mut cfg = SystemConfig::table1_one_core().with_tech(p.tech);
+    cfg.dram = cfg.dram.with_refresh();
+    cfg
+}
+
+fn marker0(stats: &RunStats) -> u64 {
+    marker_latencies(&stats.cores[0])[0]
+}
+
+fn refreshes(stats: &RunStats) -> u64 {
+    stats.mcs.iter().map(|m| m.refreshes).sum()
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let sizes: Vec<u64> = if smoke {
+        vec![1 << 10, 4 << 10]
+    } else {
+        vec![1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20]
+    };
+    let seq_size: u64 = if smoke { 64 << 10 } else { 4 << 20 };
+    let fracs: Vec<f64> = if smoke { vec![0.0, 1.0] } else { vec![0.0, 0.25, 0.5, 0.75, 1.0] };
+
+    // --- Fig. 10 across technologies: copy latency, memcpy vs (MC)² ----
+    let points: Vec<(Point, u64)> = MemTech::ALL
+        .iter()
+        .flat_map(|&tech| {
+            sizes.iter().flat_map(move |&size| {
+                [false, true].map(|mcsquare| (Point { tech, mcsquare }, size))
+            })
+        })
+        .collect();
+    let results = mcs_bench::par_run(points, |(p, size)| {
+        let mech = mech_of(p);
+        let mut space = AddrSpace::dram_3gb();
+        let g = copy_latency(mech.clone(), *size, false, &mut space);
+        let mc2 = mech.needs_engine().then(McSquareConfig::default);
+        Job::single(cfg_of(p), mc2, g.uops, g.pokes)
+    });
+    let mut t10 = Table::new(
+        "sweep_memtech_fig10",
+        "Fig. 10 copy latency across memory technologies, refresh enabled",
+        &["tech", "size", "memcpy_ns", "mcsquare_ns", "speedup", "refreshes"],
+    );
+    let per_tech = sizes.len() * 2;
+    for (ti, tech) in MemTech::ALL.iter().enumerate() {
+        for (si, &size) in sizes.iter().enumerate() {
+            let base = &results[ti * per_tech + si * 2].1;
+            let mcs = &results[ti * per_tech + si * 2 + 1].1;
+            let (lb, lm) = (marker0(base), marker0(mcs));
+            t10.row(vec![
+                tech.name().into(),
+                fmt_size(size),
+                f3(ns(lb)),
+                f3(ns(lm)),
+                f3(lb as f64 / lm as f64),
+                refreshes(mcs).to_string(),
+            ]);
+        }
+    }
+    t10.emit();
+
+    // --- Fig. 12 across technologies: destination access after a copy --
+    let points: Vec<(Point, f64)> = MemTech::ALL
+        .iter()
+        .flat_map(|&tech| {
+            fracs.iter().flat_map(move |&frac| {
+                [false, true].map(|mcsquare| (Point { tech, mcsquare }, frac))
+            })
+        })
+        .collect();
+    let results = mcs_bench::par_run(points, |(p, frac)| {
+        let mech = mech_of(p);
+        let mut space = AddrSpace::dram_3gb();
+        let g = seq_access(mech.clone(), seq_size, *frac, true, &mut space);
+        let mc2 = mech.needs_engine().then(McSquareConfig::default);
+        Job::single(cfg_of(p), mc2, g.uops, g.pokes)
+    });
+    let mut t12 = Table::new(
+        "sweep_memtech_fig12",
+        "Fig. 12 sequential destination access across memory technologies: \
+         (MC)^2 runtime normalised to native memcpy, refresh enabled",
+        &["tech", "fraction", "memcpy_ns", "mcsquare_ns", "mcsquare_norm"],
+    );
+    let per_tech = fracs.len() * 2;
+    for (ti, tech) in MemTech::ALL.iter().enumerate() {
+        for (fi, &frac) in fracs.iter().enumerate() {
+            let base = marker0(&results[ti * per_tech + fi * 2].1);
+            let mcs = marker0(&results[ti * per_tech + fi * 2 + 1].1);
+            t12.row(vec![
+                tech.name().into(),
+                format!("{:.0}%", frac * 100.0),
+                f3(ns(base)),
+                f3(ns(mcs)),
+                f3(mcs as f64 / base as f64),
+            ]);
+        }
+    }
+    t12.emit();
+}

@@ -68,15 +68,68 @@ impl CacheConfig {
     }
 }
 
+/// Memory technology behind one channel: selects which
+/// [`crate::dram::DramModel`] backend the system builds.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum MemTech {
+    /// DDR4-2400 single 64-bit bus per channel (the Table I baseline).
+    Ddr4,
+    /// DDR5-4800 sub-channel: bank groups with tCCD_L/tCCD_S CAS spacing,
+    /// smaller rows, two sub-channels per DIMM (so more system channels).
+    Ddr5,
+    /// HBM2-style channel: independent narrow pseudo-channels, short
+    /// bursts, small rows, low capacity per channel.
+    Hbm2,
+}
+
+impl MemTech {
+    /// Every supported technology, for sweeps.
+    pub const ALL: [MemTech; 3] = [MemTech::Ddr4, MemTech::Ddr5, MemTech::Hbm2];
+
+    /// Short lowercase name used in result tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            MemTech::Ddr4 => "ddr4",
+            MemTech::Ddr5 => "ddr5",
+            MemTech::Hbm2 => "hbm2",
+        }
+    }
+
+    /// Channels a Table I-class system of this technology exposes: 2 DDR4
+    /// channels; the same two DIMM slots give 4 DDR5 sub-channels; one
+    /// HBM2 stack gives 8 channels.
+    pub fn default_channels(self) -> usize {
+        match self {
+            MemTech::Ddr4 => 2,
+            MemTech::Ddr5 => 4,
+            MemTech::Hbm2 => 8,
+        }
+    }
+}
+
+/// Whether the `MCS_REFRESH` environment variable asks for refresh-enabled
+/// runs (CI's second timing path; default off so published numbers are
+/// reproduced exactly).
+pub fn refresh_env() -> bool {
+    matches!(std::env::var("MCS_REFRESH").as_deref(), Ok("1") | Ok("true"))
+}
+
 /// DRAM timing and geometry for one channel, expressed in CPU cycles.
 ///
 /// Defaults approximate DDR4-2400 at a 4 GHz CPU clock: tRCD = tRP = tCL ≈
 /// 13.75 ns ≈ 55 cycles, 64B burst ≈ 3.33 ns ≈ 13 cycles (19.2 GB/s per
-/// channel).
+/// channel). See [`DramConfig::ddr5`] and [`DramConfig::hbm2`] for the
+/// other technologies.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DramConfig {
-    /// Banks per channel.
+    /// Backend this configuration describes.
+    pub tech: MemTech,
+    /// Banks per channel (per pseudo-channel for HBM).
     pub banks: usize,
+    /// Bank groups the banks divide into (DDR5; 1 = no grouping).
+    pub bank_groups: usize,
+    /// Pseudo-channels per channel (HBM; 1 = a single shared bus).
+    pub pseudo_channels: usize,
     /// Row size in bytes (per bank).
     pub row_bytes: u64,
     /// Activate-to-CAS delay (row miss adder), cycles.
@@ -85,20 +138,113 @@ pub struct DramConfig {
     pub t_rp: u64,
     /// CAS latency, cycles.
     pub t_cl: u64,
-    /// Data-burst occupancy of the channel per 64B access, cycles. This is
-    /// the per-channel bandwidth cap.
+    /// Data-burst occupancy of one bus per 64B access, cycles. This is
+    /// the per-bus bandwidth cap.
     pub t_burst: u64,
+    /// Same-bank-group CAS-to-CAS spacing (DDR5 tCCD_L), cycles; only
+    /// consulted when `bank_groups > 1`.
+    pub t_ccd_l: u64,
+    /// All-bank refresh interval, cycles; 0 disables refresh (the
+    /// behaviour-preserving default — see [`DramConfig::with_refresh`]).
+    pub t_refi: u64,
+    /// All-bank refresh duration, cycles (banks blocked, rows closed).
+    pub t_rfc: u64,
 }
 
 impl Default for DramConfig {
     fn default() -> Self {
         DramConfig {
+            tech: MemTech::Ddr4,
             banks: 16,
+            bank_groups: 1,
+            pseudo_channels: 1,
             row_bytes: 8192,
             t_rcd: 55,
             t_rp: 55,
             t_cl: 55,
             t_burst: 13,
+            t_ccd_l: 0,
+            t_refi: 0,
+            t_rfc: 1400,
+        }
+    }
+}
+
+impl DramConfig {
+    /// DDR4-2400: the Table I baseline (identical to [`Default`]).
+    pub fn ddr4() -> DramConfig {
+        DramConfig::default()
+    }
+
+    /// DDR5-4800 sub-channel: 32 banks in 8 groups, 2 KB rows (the 32-bit
+    /// sub-channel fetches half a module row), tRCD/tRP/tCL ≈ 16 ns ≈ 64
+    /// cycles, BL16 burst ≈ 3.33 ns ≈ 13 cycles, tCCD_L ≈ 5 ns ≈ 20
+    /// cycles, tRFC ≈ 295 ns ≈ 1180 cycles.
+    pub fn ddr5() -> DramConfig {
+        DramConfig {
+            tech: MemTech::Ddr5,
+            banks: 32,
+            bank_groups: 8,
+            pseudo_channels: 1,
+            row_bytes: 2048,
+            t_rcd: 64,
+            t_rp: 64,
+            t_cl: 64,
+            t_burst: 13,
+            t_ccd_l: 20,
+            t_refi: 0,
+            t_rfc: 1180,
+        }
+    }
+
+    /// HBM2E-style channel: 2 pseudo-channels of 16 banks each, 1 KB
+    /// rows, tRCD/tRP/tCL ≈ 14 ns ≈ 56 cycles, 64B over a 64-bit
+    /// pseudo-channel bus at 3.6 Gb/s ≈ 2.2 ns ≈ 9 cycles, tRFC ≈ 260 ns
+    /// ≈ 1040 cycles.
+    pub fn hbm2() -> DramConfig {
+        DramConfig {
+            tech: MemTech::Hbm2,
+            banks: 16,
+            bank_groups: 1,
+            pseudo_channels: 2,
+            row_bytes: 1024,
+            t_rcd: 56,
+            t_rp: 56,
+            t_cl: 56,
+            t_burst: 9,
+            t_ccd_l: 0,
+            t_refi: 0,
+            t_rfc: 1040,
+        }
+    }
+
+    /// The canonical timing for `tech`.
+    pub fn for_tech(tech: MemTech) -> DramConfig {
+        match tech {
+            MemTech::Ddr4 => DramConfig::ddr4(),
+            MemTech::Ddr5 => DramConfig::ddr5(),
+            MemTech::Hbm2 => DramConfig::hbm2(),
+        }
+    }
+
+    /// Enable all-bank refresh at the technology's canonical interval:
+    /// tREFI = 7.8 µs ≈ 31200 cycles for DDR4; DDR5 and HBM2 refresh
+    /// twice as often (3.9 µs ≈ 15600 cycles) with shorter tRFC.
+    pub fn with_refresh(mut self) -> DramConfig {
+        self.t_refi = match self.tech {
+            MemTech::Ddr4 => 31_200,
+            MemTech::Ddr5 | MemTech::Hbm2 => 15_600,
+        };
+        self
+    }
+
+    /// Enable refresh when the `MCS_REFRESH` env var asks for it
+    /// ([`refresh_env`]); otherwise leave it as configured.
+    pub fn refresh_from_env(self) -> DramConfig {
+        if refresh_env() {
+            self.with_refresh()
+        } else {
+            self
         }
     }
 }
@@ -190,7 +336,7 @@ impl SystemConfig {
                 prefetch_degree: 8,
             },
             channels: 2,
-            dram: DramConfig::default(),
+            dram: DramConfig::ddr4().refresh_from_env(),
             mc: McConfig { rpq_cap: 48, ..McConfig::default() },
             links: LinkConfig::default(),
             ctt_latency: 4,
@@ -201,6 +347,20 @@ impl SystemConfig {
     /// single-threaded).
     pub fn table1_one_core() -> SystemConfig {
         SystemConfig { cores: 1, ..SystemConfig::table1() }
+    }
+
+    /// Swap the memory technology: replaces the DRAM timing with the
+    /// canonical [`DramConfig`] for `tech` and adjusts the channel count
+    /// ([`MemTech::default_channels`]). Whether refresh was enabled is
+    /// carried over at the new technology's canonical interval.
+    pub fn with_tech(mut self, tech: MemTech) -> SystemConfig {
+        let refresh = self.dram.t_refi > 0;
+        self.channels = tech.default_channels();
+        self.dram = DramConfig::for_tech(tech);
+        if refresh {
+            self.dram = self.dram.with_refresh();
+        }
+        self
     }
 
     /// A tiny configuration for fast unit tests: small caches so evictions
@@ -234,16 +394,30 @@ impl SystemConfig {
                 prefetch_degree: 0,
             },
             channels: 2,
-            dram: DramConfig { banks: 4, row_bytes: 1024, t_rcd: 6, t_rp: 6, t_cl: 6, t_burst: 2 },
+            dram: DramConfig {
+                banks: 4,
+                row_bytes: 1024,
+                t_rcd: 6,
+                t_rp: 6,
+                t_cl: 6,
+                t_burst: 2,
+                // Scaled-down refresh so the env-gated refresh path is
+                // actually exercised inside short unit-test runs.
+                t_refi: if refresh_env() { 500 } else { 0 },
+                t_rfc: 60,
+                ..DramConfig::default()
+            },
             mc: McConfig { rpq_cap: 8, wpq_cap: 8, wpq_drain_hi: 0.7, wpq_drain_lo: 0.2 },
             links: LinkConfig { core_l1: 1, l1_llc: 2, llc_mc: 4, mc_mc: 4 },
             ctt_latency: 1,
         }
     }
 
-    /// Approximate total memory bandwidth in bytes per cycle (all channels).
+    /// Approximate total memory bandwidth in bytes per cycle (all
+    /// channels, counting every independent pseudo-channel bus).
     pub fn peak_bw_bytes_per_cycle(&self) -> f64 {
-        self.channels as f64 * crate::addr::CACHELINE as f64 / self.dram.t_burst as f64
+        (self.channels * self.dram.pseudo_channels) as f64 * crate::addr::CACHELINE as f64
+            / self.dram.t_burst as f64
     }
 }
 
@@ -282,5 +456,42 @@ mod tests {
         assert_serde::<SystemConfig>();
         assert_serde::<DramConfig>();
         assert_serde::<CoreConfig>();
+        assert_serde::<MemTech>();
+    }
+
+    #[test]
+    fn with_tech_swaps_timing_and_channels() {
+        // Pin refresh off so the test is stable under MCS_REFRESH=1 runs
+        // (refresh preservation is covered by the next test).
+        let mut base = SystemConfig::table1();
+        base.dram.t_refi = 0;
+        let c = base.clone().with_tech(MemTech::Ddr5);
+        assert_eq!(c.dram.tech, MemTech::Ddr5);
+        assert_eq!(c.channels, 4);
+        assert!(c.dram.bank_groups > 1 && c.dram.t_ccd_l > c.dram.t_burst);
+        let h = base.with_tech(MemTech::Hbm2);
+        assert_eq!(h.channels, 8);
+        assert!(h.dram.pseudo_channels > 1);
+        // Round-tripping back to DDR4 restores the baseline machine.
+        let back = h.with_tech(MemTech::Ddr4);
+        assert_eq!(back.dram, DramConfig::ddr4());
+        assert_eq!(back.channels, 2);
+    }
+
+    #[test]
+    fn with_tech_preserves_refresh_choice() {
+        let mut c = SystemConfig::table1();
+        c.dram = c.dram.with_refresh();
+        let d5 = c.clone().with_tech(MemTech::Ddr5);
+        assert!(d5.dram.t_refi > 0);
+        c.dram.t_refi = 0;
+        assert_eq!(c.with_tech(MemTech::Ddr5).dram.t_refi, 0);
+    }
+
+    #[test]
+    fn peak_bandwidth_orders_technologies() {
+        let bw = |t: MemTech| SystemConfig::table1().with_tech(t).peak_bw_bytes_per_cycle();
+        let (d4, d5, hbm) = (bw(MemTech::Ddr4), bw(MemTech::Ddr5), bw(MemTech::Hbm2));
+        assert!(d4 < d5 && d5 < hbm, "bw ordering: {d4} {d5} {hbm}");
     }
 }

@@ -1,98 +1,88 @@
-//! DDR4-style DRAM channel timing model.
+//! DDR4-style channel: one shared 64-bit data bus, `banks` banks with
+//! open-row registers, optional all-bank refresh.
 //!
-//! Each memory controller owns one channel. A channel has `banks` banks,
-//! each with an open-row register; accesses are classified as row hits
-//! (tCL), row misses/empty (tRCD + tCL) or row conflicts (tRP + tRCD + tCL),
-//! and every access occupies the shared per-channel data bus for `tBURST`
-//! cycles — the per-channel bandwidth cap. Bank-level parallelism lets
-//! latencies overlap across banks, which is what gives memcpy its
-//! memory-level parallelism until the ROB fills (§II-A).
+//! Accesses are classified as row hits (tCL), row misses/empty (tRCD +
+//! tCL) or row conflicts (tRP + tRCD + tCL), and every access occupies the
+//! shared per-channel data bus for `tBURST` cycles — the per-channel
+//! bandwidth cap. Bank-level parallelism lets latencies overlap across
+//! banks, which is what gives memcpy its memory-level parallelism until
+//! the ROB fills (§II-A).
 //!
-//! Address mapping (line-interleaved channels): the cacheline index is first
-//! striped across channels, then within a channel consecutive lines fill a
-//! row, rows stripe across banks. Sequential buffers therefore enjoy high
-//! row-buffer locality, as on real hardware.
+//! With `t_refi > 0`, an all-bank refresh window of `t_rfc` cycles opens
+//! every `t_refi` cycles: every row is closed (refresh implies precharge)
+//! and every bank and the data bus are blocked until the window ends.
+//! Commands already in flight when a window opens are allowed to complete
+//! (the controller holds off *new* commands, as real controllers do around
+//! a REF).
 
+use super::{DramModel, RefreshTimer, RowOutcome};
 use crate::addr::{PhysAddr, CACHELINE};
 use crate::config::DramConfig;
 use crate::Cycle;
 
-/// Which channel (memory controller) services a given line, with `channels`
-/// total channels.
-pub fn channel_of(addr: PhysAddr, channels: usize) -> usize {
-    (addr.line().0 % channels as u64) as usize
-}
-
-/// Outcome of a DRAM access with respect to the row buffer.
-#[derive(Copy, Clone, PartialEq, Eq, Debug)]
-pub enum RowOutcome {
-    /// The addressed row was already open.
-    Hit,
-    /// The bank was idle (no open row).
-    Empty,
-    /// Another row was open and had to be precharged.
-    Conflict,
-}
-
 #[derive(Debug, Clone)]
-struct Bank {
-    open_row: Option<u64>,
+pub(crate) struct Bank {
+    pub(crate) open_row: Option<u64>,
     /// Earliest cycle the bank can accept its next column command
     /// (CAS-to-CAS spacing; activations/precharges fold in as delays).
-    next_cas: Cycle,
+    pub(crate) next_cas: Cycle,
 }
 
-/// One DRAM channel.
+/// One DDR4 channel.
 #[derive(Debug, Clone)]
-pub struct DramChannel {
+pub struct Ddr4Channel {
     cfg: DramConfig,
     channels: usize,
     banks: Vec<Bank>,
     bus_free: Cycle,
+    refresh: RefreshTimer,
 }
 
-impl DramChannel {
+impl Ddr4Channel {
     /// Create a channel; `channels` is the system-wide channel count (for
     /// address mapping).
-    pub fn new(cfg: DramConfig, channels: usize) -> DramChannel {
+    pub fn new(cfg: DramConfig, channels: usize) -> Ddr4Channel {
         let banks = vec![Bank { open_row: None, next_cas: 0 }; cfg.banks];
-        DramChannel { cfg, channels, banks, bus_free: 0 }
+        let refresh = RefreshTimer::new(cfg.t_refi, cfg.t_rfc);
+        Ddr4Channel { cfg, channels, banks, bus_free: 0, refresh }
     }
 
-    fn bank_row(&self, addr: PhysAddr) -> (usize, u64) {
+    pub(crate) fn bank_row(&self, addr: PhysAddr) -> (usize, u64) {
         let local_line = addr.line().0 / self.channels as u64;
         let lines_per_row = self.cfg.row_bytes / CACHELINE;
         let bank = ((local_line / lines_per_row) % self.cfg.banks as u64) as usize;
         let row = local_line / lines_per_row / self.cfg.banks as u64;
         (bank, row)
     }
+}
 
-    /// Whether an access to `addr` would hit the open row right now.
-    pub fn is_row_hit(&self, addr: PhysAddr) -> bool {
+impl DramModel for Ddr4Channel {
+    fn sync(&mut self, now: Cycle) {
+        while let Some(end) = self.refresh.pop_due(now) {
+            for b in &mut self.banks {
+                b.open_row = None;
+                b.next_cas = b.next_cas.max(end);
+            }
+            self.bus_free = self.bus_free.max(end);
+        }
+    }
+
+    fn is_row_hit(&self, addr: PhysAddr) -> bool {
         let (bank, row) = self.bank_row(addr);
         self.banks[bank].open_row == Some(row)
     }
 
-    /// Whether the addressed bank can start a new access at `now`.
-    pub fn bank_ready(&self, now: Cycle, addr: PhysAddr) -> bool {
+    fn bank_ready(&self, now: Cycle, addr: PhysAddr) -> bool {
         let (bank, _) = self.bank_row(addr);
         self.banks[bank].next_cas <= now
     }
 
-    /// Whether the controller may issue another column command at `now`:
-    /// the data bus may be booked up to one CAS latency ahead, so bursts
-    /// pipeline behind in-flight accesses instead of serialising with
-    /// their array latency.
-    pub fn bus_ready(&self, now: Cycle) -> bool {
+    fn bus_ready(&self, now: Cycle) -> bool {
         self.bus_free <= now + self.cfg.t_cl
     }
 
-    /// Start an access at `now`. Returns the completion cycle (data fully
-    /// transferred) and the row outcome.
-    ///
-    /// Callers should check [`Self::bank_ready`] and [`Self::bus_ready`]
-    /// first; starting anyway simply queues behind the busy resource.
-    pub fn access(&mut self, now: Cycle, addr: PhysAddr) -> (Cycle, RowOutcome) {
+    fn access(&mut self, now: Cycle, addr: PhysAddr) -> (Cycle, RowOutcome) {
+        self.sync(now);
         let (bank_idx, row) = self.bank_row(addr);
         let bank = &mut self.banks[bank_idx];
         let earliest = now.max(bank.next_cas);
@@ -112,9 +102,12 @@ impl DramChannel {
         (done, outcome)
     }
 
-    /// Earliest cycle at which any bank becomes ready (skip-ahead hint).
-    pub fn next_ready(&self) -> Cycle {
+    fn next_ready(&self) -> Cycle {
         self.banks.iter().map(|b| b.next_cas).min().unwrap_or(0).min(self.bus_free)
+    }
+
+    fn refreshes(&self) -> u64 {
+        self.refresh.count()
     }
 }
 
@@ -123,20 +116,20 @@ mod tests {
     use super::*;
 
     fn cfg() -> DramConfig {
-        DramConfig { banks: 4, row_bytes: 1024, t_rcd: 10, t_rp: 10, t_cl: 10, t_burst: 2 }
-    }
-
-    #[test]
-    fn channel_mapping_stripes_lines() {
-        assert_eq!(channel_of(PhysAddr(0), 2), 0);
-        assert_eq!(channel_of(PhysAddr(64), 2), 1);
-        assert_eq!(channel_of(PhysAddr(128), 2), 0);
-        assert_eq!(channel_of(PhysAddr(63), 2), 0);
+        DramConfig {
+            banks: 4,
+            row_bytes: 1024,
+            t_rcd: 10,
+            t_rp: 10,
+            t_cl: 10,
+            t_burst: 2,
+            ..DramConfig::default()
+        }
     }
 
     #[test]
     fn first_access_is_row_empty() {
-        let mut d = DramChannel::new(cfg(), 1);
+        let mut d = Ddr4Channel::new(cfg(), 1);
         let (done, out) = d.access(0, PhysAddr(0));
         assert_eq!(out, RowOutcome::Empty);
         assert_eq!(done, 10 + 10 + 2); // tRCD + tCL + tBURST
@@ -144,7 +137,7 @@ mod tests {
 
     #[test]
     fn second_access_same_row_hits() {
-        let mut d = DramChannel::new(cfg(), 1);
+        let mut d = Ddr4Channel::new(cfg(), 1);
         let (done1, _) = d.access(0, PhysAddr(0));
         assert!(d.is_row_hit(PhysAddr(64)));
         let (done2, out) = d.access(done1, PhysAddr(64));
@@ -154,7 +147,7 @@ mod tests {
 
     #[test]
     fn different_row_same_bank_conflicts() {
-        let mut d = DramChannel::new(cfg(), 1);
+        let mut d = Ddr4Channel::new(cfg(), 1);
         let (done1, _) = d.access(0, PhysAddr(0));
         // Same bank, next row: row_bytes*banks past addr 0.
         let other = PhysAddr(1024 * 4);
@@ -164,7 +157,7 @@ mod tests {
 
     #[test]
     fn banks_overlap_but_bus_serialises_bursts() {
-        let mut d = DramChannel::new(cfg(), 1);
+        let mut d = Ddr4Channel::new(cfg(), 1);
         // Two accesses to different banks issued at the same time: their
         // array latencies overlap, the bursts serialise on the data bus.
         let a = PhysAddr(0);
@@ -177,7 +170,7 @@ mod tests {
 
     #[test]
     fn sequential_lines_stay_in_row_across_two_channels() {
-        let d = DramChannel::new(cfg(), 2);
+        let d = Ddr4Channel::new(cfg(), 2);
         // lines 0,2,4.. live on channel 0; all map to row 0 bank 0 until
         // 1024 bytes of local lines are consumed.
         let (b0, r0) = d.bank_row(PhysAddr(0));
@@ -187,7 +180,7 @@ mod tests {
 
     #[test]
     fn bus_throughput_caps_bandwidth() {
-        let mut d = DramChannel::new(cfg(), 1);
+        let mut d = Ddr4Channel::new(cfg(), 1);
         // Saturate with row hits in one row: per-access spacing = tBURST.
         let (mut last, _) = d.access(0, PhysAddr(0));
         for i in 1..8u64 {
@@ -196,5 +189,36 @@ mod tests {
             assert_eq!(done, last + 2);
             last = done;
         }
+    }
+
+    #[test]
+    fn refresh_closes_rows_and_blocks_the_bank() {
+        let mut d = Ddr4Channel::new(DramConfig { t_refi: 100, t_rfc: 40, ..cfg() }, 1);
+        let (_, out) = d.access(0, PhysAddr(0));
+        assert_eq!(out, RowOutcome::Empty);
+        assert!(d.is_row_hit(PhysAddr(64)));
+        // Cross the tREFI boundary: the open row is gone and the bank is
+        // blocked until the window ends at 140.
+        d.sync(100);
+        assert!(!d.is_row_hit(PhysAddr(64)));
+        assert!(!d.bank_ready(100, PhysAddr(64)));
+        assert!(d.bank_ready(140, PhysAddr(64)));
+        assert_eq!(d.refreshes(), 1);
+        // The re-access is a row empty (refresh precharged), not a hit.
+        let (done, out) = d.access(140, PhysAddr(64));
+        assert_eq!(out, RowOutcome::Empty);
+        assert_eq!(done, 140 + 10 + 10 + 2);
+    }
+
+    #[test]
+    fn refresh_disabled_matches_original_timing() {
+        // t_refi = 0 (the default): sync is a no-op at any time.
+        let mut a = Ddr4Channel::new(cfg(), 1);
+        let mut b = Ddr4Channel::new(cfg(), 1);
+        b.sync(1_000_000);
+        let (da, _) = a.access(1_000_000, PhysAddr(0));
+        let (db, _) = b.access(1_000_000, PhysAddr(0));
+        assert_eq!(da, db);
+        assert_eq!(b.refreshes(), 0);
     }
 }

@@ -13,7 +13,10 @@
 //! * a memory interconnect ([`bus`]);
 //! * per-channel memory controllers with read/write pending queues and
 //!   FR-FCFS-style scheduling ([`mc`]);
-//! * a DDR4-style bank/row-buffer DRAM timing model ([`dram`]).
+//! * a composable memory-backend subsystem ([`dram`]): a [`dram::DramModel`]
+//!   trait with DDR4, DDR5 (bank groups) and HBM2 (pseudo-channel)
+//!   bank/row-buffer timing models and optional tREFI/tRFC refresh,
+//!   selected by [`config::MemTech`].
 //!
 //! The memory controller exposes a [`engine::CopyEngine`] hook. The
 //! `mcsquare` crate plugs the paper's Copy Tracking Table and Bounce Pending

@@ -3,7 +3,7 @@
 
 use crate::config::McConfig;
 use crate::data::{LineData, SparseMem};
-use crate::dram::{DramChannel, RowOutcome};
+use crate::dram::{DramModel, RowOutcome};
 use crate::engine::{CopyEngine, EngineIo, Verdict};
 use crate::link::DelayQueue;
 use crate::packet::{MemCmd, Packet};
@@ -53,7 +53,7 @@ pub struct MemCtrl {
     /// Controller index (== channel index).
     pub id: usize,
     cfg: McConfig,
-    dram: DramChannel,
+    dram: Box<dyn DramModel>,
     rpq: VecDeque<RpqEntry>,
     wpq: VecDeque<WpqEntry>,
     inflight: Vec<Inflight>,
@@ -72,7 +72,7 @@ const INPUT_PER_CYCLE: usize = 4;
 
 impl MemCtrl {
     /// Create controller `id` with the given queue config and channel model.
-    pub fn new(id: usize, cfg: McConfig, dram: DramChannel) -> MemCtrl {
+    pub fn new(id: usize, cfg: McConfig, dram: Box<dyn DramModel>) -> MemCtrl {
         MemCtrl {
             id,
             cfg,
@@ -158,11 +158,14 @@ impl MemCtrl {
         mem: &mut SparseMem,
         out: &mut Vec<(Packet, Cycle)>,
     ) {
+        // Apply elapsed refresh windows before any readiness check.
+        self.dram.sync(now);
         self.deliver_forwarded(now, engine, out);
         self.complete_inflight(now, engine, mem, out);
         self.engine_tick(now, engine, out);
         self.accept_input(now, input, engine, out);
         self.schedule_dram(now, mem);
+        self.stats.refreshes = self.dram.refreshes();
     }
 
     fn deliver_forwarded(
@@ -329,7 +332,7 @@ impl MemCtrl {
         }
 
         // Issue while the channel can accept column commands (the data bus
-        // may be booked ahead; see DramChannel::bus_ready), bounded per
+        // may be booked ahead; see DramModel::bus_ready), bounded per
         // tick to model the command bus.
         for _ in 0..4 {
             if !self.dram.bus_ready(now) {
@@ -411,11 +414,19 @@ mod tests {
     use crate::packet::Node;
 
     fn mk() -> (MemCtrl, DelayQueue<Packet>, SparseMem, NullEngine) {
-        let dram = DramChannel::new(
-            DramConfig { banks: 4, row_bytes: 1024, t_rcd: 5, t_rp: 5, t_cl: 5, t_burst: 2 },
+        let dram = crate::dram::Ddr4Channel::new(
+            DramConfig {
+                banks: 4,
+                row_bytes: 1024,
+                t_rcd: 5,
+                t_rp: 5,
+                t_cl: 5,
+                t_burst: 2,
+                ..DramConfig::default()
+            },
             1,
         );
-        let mc = MemCtrl::new(0, McConfig::default(), dram);
+        let mc = MemCtrl::new(0, McConfig::default(), Box::new(dram));
         (mc, DelayQueue::new(0), SparseMem::new(), NullEngine)
     }
 

@@ -138,6 +138,9 @@ pub struct McStats {
     pub row_hits: u64,
     pub row_misses: u64,
     pub row_conflicts: u64,
+    /// All-bank refresh windows the channel has performed (0 when the
+    /// backend runs with refresh disabled).
+    pub refreshes: u64,
     /// Reads serviced by WPQ forwarding.
     pub wpq_forwards: u64,
     /// Cycles the input port was blocked by engine back-pressure
@@ -220,8 +223,14 @@ impl fmt::Display for RunStats {
         for (i, m) in self.mcs.iter().enumerate() {
             writeln!(
                 f,
-                "  mc{i}: rd={} wr={} rowhit={} stalls={}",
-                m.reads, m.writes, m.row_hits, m.input_stall_cycles
+                "  mc{i}: rd={} wr={} rowhit={} rowmiss={} rowconf={} refresh={} stalls={}",
+                m.reads,
+                m.writes,
+                m.row_hits,
+                m.row_misses,
+                m.row_conflicts,
+                m.refreshes,
+                m.input_stall_cycles
             )?;
         }
         for (k, v) in &self.engine {
@@ -294,6 +303,23 @@ mod tests {
     fn display_is_nonempty() {
         let rs = RunStats::default();
         assert!(!format!("{rs}").is_empty());
+    }
+
+    #[test]
+    fn display_reports_full_row_buffer_breakdown() {
+        let mut rs = RunStats::default();
+        rs.mcs.push(McStats {
+            row_hits: 3,
+            row_misses: 2,
+            row_conflicts: 1,
+            refreshes: 4,
+            ..McStats::default()
+        });
+        let s = format!("{rs}");
+        assert!(s.contains("rowhit=3"), "{s}");
+        assert!(s.contains("rowmiss=2"), "{s}");
+        assert!(s.contains("rowconf=1"), "{s}");
+        assert!(s.contains("refresh=4"), "{s}");
     }
 
     #[test]

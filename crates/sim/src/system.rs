@@ -8,7 +8,6 @@ use crate::cache::{CoreToL1, L1ToCore, L1ToLlc, LlcToL1};
 use crate::config::SystemConfig;
 use crate::core::{Core, CoreOut};
 use crate::data::{LineData, SparseMem};
-use crate::dram::DramChannel;
 use crate::engine::{CopyEngine, NullEngine};
 use crate::link::DelayQueue;
 use crate::mc::MemCtrl;
@@ -98,7 +97,7 @@ impl System {
         let llc = Llc::new(cfg.llc.clone(), cfg.channels);
         let bus = Bus::new(cfg.channels, cfg.links.llc_mc, cfg.links.mc_mc);
         let mcs: Vec<MemCtrl> = (0..cfg.channels)
-            .map(|i| MemCtrl::new(i, cfg.mc.clone(), DramChannel::new(cfg.dram.clone(), cfg.channels)))
+            .map(|i| MemCtrl::new(i, cfg.mc.clone(), crate::dram::build(&cfg.dram, cfg.channels)))
             .collect();
         fn mk<T>(n: usize, lat: Cycle) -> Vec<DelayQueue<T>> {
             (0..n).map(|_| DelayQueue::new(lat)).collect()

@@ -1,0 +1,175 @@
+//! Property-based timing checks for every memory backend.
+//!
+//! For random request streams against each [`DramModel`] backend:
+//!
+//! * **causality** — the completion cycle is strictly after the request
+//!   cycle (data cannot arrive before it was asked for);
+//! * **bus exclusivity** — the data bus is never double-booked:
+//!   completions on the same bus (same pseudo-channel, for HBM) are
+//!   spaced at least `tBURST` apart;
+//! * **monotonicity** — issuing the same request *later* from the same
+//!   channel state never yields an *earlier* completion.
+
+use mcs_sim::addr::PhysAddr;
+use mcs_sim::config::DramConfig;
+use mcs_sim::dram::{Ddr4Channel, Ddr5Channel, DramModel, HbmChannel};
+use proptest::prelude::*;
+
+/// A request stream: (cycles since previous request, line index).
+fn stream_strategy() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    prop::collection::vec((0u64..200, 0u64..512), 1..40)
+}
+
+fn ddr4_cfg() -> DramConfig {
+    DramConfig {
+        banks: 4,
+        row_bytes: 1024,
+        t_rcd: 10,
+        t_rp: 10,
+        t_cl: 10,
+        t_burst: 4,
+        t_refi: 700,
+        t_rfc: 50,
+        ..DramConfig::ddr4()
+    }
+}
+
+fn ddr5_cfg() -> DramConfig {
+    DramConfig {
+        banks: 8,
+        bank_groups: 4,
+        row_bytes: 1024,
+        t_rcd: 10,
+        t_rp: 10,
+        t_cl: 10,
+        t_burst: 4,
+        t_ccd_l: 9,
+        t_refi: 700,
+        t_rfc: 50,
+        ..DramConfig::ddr5()
+    }
+}
+
+fn hbm_cfg() -> DramConfig {
+    DramConfig {
+        banks: 4,
+        pseudo_channels: 2,
+        row_bytes: 512,
+        t_rcd: 10,
+        t_rp: 10,
+        t_cl: 10,
+        t_burst: 4,
+        t_refi: 700,
+        t_rfc: 50,
+        ..DramConfig::hbm2()
+    }
+}
+
+/// Drive `stream` through a fresh backend, checking causality and bus
+/// exclusivity along the way.
+fn check_stream<M: DramModel>(mut dram: M, stream: &[(u64, u64)], t_burst: u64) -> Result<(), TestCaseError> {
+    let mut now = 0u64;
+    // Per-bus completion times, for the exclusivity check.
+    let mut completions: Vec<(usize, u64)> = Vec::new();
+    for &(gap, line) in stream {
+        now += gap;
+        let addr = PhysAddr(line * 64);
+        dram.sync(now);
+        let (done, _) = dram.access(now, addr);
+        prop_assert!(done > now, "completion {done} not after request cycle {now}");
+        completions.push((dram.bus_of(addr), done));
+    }
+    let buses = completions.iter().map(|c| c.0).max().unwrap_or(0) + 1;
+    for bus in 0..buses {
+        let mut on_bus: Vec<u64> =
+            completions.iter().filter(|c| c.0 == bus).map(|c| c.1).collect();
+        on_bus.sort_unstable();
+        for w in on_bus.windows(2) {
+            prop_assert!(
+                w[1] >= w[0] + t_burst,
+                "bus {bus} double-booked: completions at {} and {} closer than tBURST {t_burst}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+    Ok(())
+}
+
+/// After a random warm-up, issuing the same request at `t` vs. `t + delay`
+/// (from clones of the same state) must not complete earlier.
+fn check_monotonic<M: DramModel + Clone>(
+    mut dram: M,
+    warmup: &[(u64, u64)],
+    line: u64,
+    delay: u64,
+) -> Result<(), TestCaseError> {
+    let mut now = 0u64;
+    for &(gap, l) in warmup {
+        now += gap;
+        dram.sync(now);
+        let _ = dram.access(now, PhysAddr(l * 64));
+    }
+    let addr = PhysAddr(line * 64);
+    let mut early = dram.clone();
+    let mut late = dram;
+    early.sync(now);
+    let (done_early, _) = early.access(now, addr);
+    late.sync(now + delay);
+    let (done_late, _) = late.access(now + delay, addr);
+    prop_assert!(
+        done_late >= done_early,
+        "issuing at {now}+{delay} completed at {done_late}, earlier than {done_early} at {now}"
+    );
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn ddr4_stream_timing(stream in stream_strategy()) {
+        check_stream(Ddr4Channel::new(ddr4_cfg(), 2), &stream, 4)?;
+    }
+
+    #[test]
+    fn ddr5_stream_timing(stream in stream_strategy()) {
+        check_stream(Ddr5Channel::new(ddr5_cfg(), 2), &stream, 4)?;
+    }
+
+    #[test]
+    fn hbm_stream_timing(stream in stream_strategy()) {
+        check_stream(HbmChannel::new(hbm_cfg(), 2), &stream, 4)?;
+    }
+
+    #[test]
+    fn ddr4_monotonic(warmup in stream_strategy(), line in 0u64..512, delay in 0u64..500) {
+        check_monotonic(Ddr4Channel::new(ddr4_cfg(), 2), &warmup, line, delay)?;
+    }
+
+    #[test]
+    fn ddr5_monotonic(warmup in stream_strategy(), line in 0u64..512, delay in 0u64..500) {
+        check_monotonic(Ddr5Channel::new(ddr5_cfg(), 2), &warmup, line, delay)?;
+    }
+
+    #[test]
+    fn hbm_monotonic(warmup in stream_strategy(), line in 0u64..512, delay in 0u64..500) {
+        check_monotonic(HbmChannel::new(hbm_cfg(), 2), &warmup, line, delay)?;
+    }
+
+    #[test]
+    fn refresh_accounting_is_exact(stream in stream_strategy()) {
+        // However the stream is paced (including skip-ahead-sized gaps),
+        // the number of refresh windows applied equals the number of tREFI
+        // boundaries crossed — no window is lost or double-counted.
+        for cfg in [ddr4_cfg(), ddr5_cfg(), hbm_cfg()] {
+            let t_refi = cfg.t_refi;
+            let mut dram = mcs_sim::dram::build(&cfg, 1);
+            let mut now = 0u64;
+            for &(gap, line) in &stream {
+                now += gap;
+                dram.sync(now);
+                let _ = dram.access(now, PhysAddr(line * 64));
+            }
+            prop_assert_eq!(dram.refreshes(), now / t_refi);
+        }
+    }
+}
