@@ -73,7 +73,10 @@ impl Job {
         cfg.cores = self.programs.len();
         let mut sys = match &self.mc2 {
             Some(m) => {
-                let engine = McSquareEngine::new(m.clone(), cfg.channels);
+                // Arm the engine-level fault classes too when the config
+                // carries a fault plan (with an empty plan this is
+                // identical to `McSquareEngine::new`).
+                let engine = McSquareEngine::with_faults(m.clone(), cfg.channels, &cfg.fault);
                 System::with_engine(cfg, self.programs, Box::new(engine))
             }
             None => System::new(cfg, self.programs),

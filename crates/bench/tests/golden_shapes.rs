@@ -19,10 +19,12 @@ use mcs_workloads::CopyMech;
 use mcsquare::McSquareConfig;
 
 /// Copy latency (cycles) for `mech` at `size` on the default DDR4 system,
-/// refresh forced off regardless of `MCS_REFRESH` so the goldens hold.
+/// refresh forced off regardless of `MCS_REFRESH` and fault injection
+/// forced off regardless of `MCS_FAULTS`, so the goldens hold.
 fn latency(mech: CopyMech, size: u64) -> u64 {
     let mut cfg = SystemConfig::table1_one_core();
     cfg.dram.t_refi = 0;
+    cfg.fault = mcs_sim::fault::FaultPlan::none();
     let mut space = AddrSpace::dram_3gb();
     let g = copy_latency(mech.clone(), size, false, &mut space);
     let engine = mech.needs_engine().then(McSquareConfig::default);

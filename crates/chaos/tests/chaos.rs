@@ -1,0 +1,102 @@
+//! Soak, determinism, mutant-detection and livelock tests of the chaos
+//! harness. Every case is seeded, so failures replay exactly; build with
+//! `--features check-invariants` to additionally audit coherence, CTT and
+//! BPQ invariants during every run.
+
+use mcs_chaos::{gen_case, run_case, shrink, ChaosCase, ChaosFailure, ChaosMutation, ChaosOp, ARENA, SLOT_SIZE};
+use mcs_sim::fault::FaultPlan;
+use mcs_sim::system::SimError;
+
+/// The headline soak: 20 seeded randomized workloads under the mild
+/// every-fault-class plan, each run to quiescence and differentially
+/// checked against the eager oracle.
+#[test]
+fn soak_twenty_seeds_match_eager_oracle() {
+    for seed in 0..20u64 {
+        let case = gen_case(seed, 12);
+        let report = run_case(&case, ChaosMutation::None)
+            .unwrap_or_else(|e| panic!("seed {seed} failed: {e}"));
+        assert!(report.cycles > 0);
+    }
+}
+
+/// Identical (seed, plan, workload) ⇒ identical timing, fault schedule,
+/// and final memory image.
+#[test]
+fn chaos_runs_are_deterministic() {
+    let case = gen_case(5, 12);
+    let a = run_case(&case, ChaosMutation::None).expect("seed 5 passes");
+    let b = run_case(&case, ChaosMutation::None).expect("seed 5 passes");
+    assert_eq!(a, b, "same case must replay identically");
+    assert!(a.fault_events > 0, "mild plan must inject at this scale");
+}
+
+/// A deliberately broken engine — CTT metadata dropped without the eager
+/// re-copy repair — must be caught by the differential check and shrunk
+/// to a minimal reproduction.
+#[test]
+fn mutant_drop_without_repair_is_caught_and_shrunk() {
+    let mut case = gen_case(11, 12);
+    // Make every insert drop an entry so the mutant's data loss is
+    // guaranteed to manifest.
+    case.plan.ctt_drop_rate = 1.0;
+    let failure = run_case(&case, ChaosMutation::DropWithoutRepair)
+        .expect_err("the mutant must corrupt memory");
+    assert!(
+        matches!(failure, ChaosFailure::Mismatch { .. }),
+        "expected an oracle mismatch, got: {failure}"
+    );
+
+    let minimal = shrink(&case, ChaosMutation::DropWithoutRepair);
+    assert!(
+        run_case(&minimal, ChaosMutation::DropWithoutRepair).is_err(),
+        "the shrunk case must still fail"
+    );
+    assert!(
+        minimal.ops.len() < case.ops.len(),
+        "shrinking must remove irrelevant ops: {} -> {}",
+        case.ops.len(),
+        minimal.ops.len()
+    );
+    // The drop fault is load-bearing: the shrinker must have kept it.
+    assert!(minimal.plan.ctt_drop_rate > 0.0);
+    // And the correct engine passes the minimal case: the defect is in
+    // the mutant, not the workload.
+    run_case(&minimal, ChaosMutation::None).expect("correct engine passes the minimal case");
+}
+
+/// A fault plan that freezes the controllers forever must surface as a
+/// structured livelock with per-component diagnostics, not a hang.
+#[test]
+fn frozen_controllers_report_livelock() {
+    let case = ChaosCase {
+        seed: 1,
+        plan: FaultPlan {
+            seed: 1,
+            mc_stall_rate: 1.0,
+            mc_stall_cycles: 100_000_000,
+            ..FaultPlan::none()
+        },
+        ops: vec![ChaosOp::Load { addr: ARENA + 2 * SLOT_SIZE, len: 8 }],
+    };
+    match run_case(&case, ChaosMutation::None) {
+        Err(ChaosFailure::Sim(SimError::Livelock { mc_queues, cores, .. })) => {
+            assert!(
+                mc_queues.iter().any(|&(r, w, f)| r + w + f > 0),
+                "stuck work must be visible in the snapshot: {mc_queues:?}"
+            );
+            assert!(!cores.is_empty());
+        }
+        other => panic!("expected livelock, got {other:?}"),
+    }
+}
+
+/// The empty plan through the chaos path is still a clean run — the fault
+/// hooks really are no-ops when disarmed.
+#[test]
+fn empty_plan_injects_nothing() {
+    let mut case = gen_case(2, 8);
+    case.plan = FaultPlan::none();
+    let report = run_case(&case, ChaosMutation::None).expect("clean run passes");
+    assert_eq!(report.fault_events, 0);
+}

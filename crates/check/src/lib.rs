@@ -28,6 +28,8 @@
 //! Run it as a CLI (`cargo run -p mcs-check --release`) or via the crate's
 //! integration tests.
 
+pub mod oracle;
+
 use std::collections::HashSet;
 use std::hash::{Hash, Hasher};
 

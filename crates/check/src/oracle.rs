@@ -1,0 +1,93 @@
+//! A byte-granular eager-memory oracle.
+//!
+//! [`EagerMem`] models what physical memory *would* contain if every copy
+//! executed eagerly at the moment it was issued: stores write bytes, copies
+//! snapshot-and-write immediately, loads read the current bytes. It has no
+//! caches, no queues, no timing — which is exactly the point: the chaos
+//! harness (`mcs-chaos`) replays a workload against this oracle and then
+//! differentially compares the simulator's materialized memory image
+//! ([`mcs_sim::system::System::peek_materialized`]) against it. Any
+//! divergence is a correctness bug in the lazy machinery (or a deliberately
+//! armed chaos mutant).
+//!
+//! Unwritten bytes read as zero, matching [`mcs_sim::data::SparseMem`].
+
+use std::collections::HashMap;
+
+/// Flat, sparse, byte-granular memory with eager copy semantics.
+#[derive(Debug, Default, Clone)]
+pub struct EagerMem {
+    bytes: HashMap<u64, u8>,
+}
+
+impl EagerMem {
+    /// An empty (all-zero) memory.
+    pub fn new() -> EagerMem {
+        EagerMem::default()
+    }
+
+    /// Store `data` at `addr`.
+    pub fn write(&mut self, addr: u64, data: &[u8]) {
+        for (i, b) in data.iter().enumerate() {
+            if *b == 0 {
+                self.bytes.remove(&(addr + i as u64));
+            } else {
+                self.bytes.insert(addr + i as u64, *b);
+            }
+        }
+    }
+
+    /// Copy `size` bytes from `src` to `dst`, eagerly and atomically
+    /// (snapshot first, so overlapping ranges behave like `memmove`).
+    pub fn copy(&mut self, dst: u64, src: u64, size: u64) {
+        let snapshot: Vec<u8> = (0..size).map(|i| self.read_byte(src + i)).collect();
+        self.write(dst, &snapshot);
+    }
+
+    /// Read one byte.
+    pub fn read_byte(&self, addr: u64) -> u8 {
+        self.bytes.get(&addr).copied().unwrap_or(0)
+    }
+
+    /// Read `len` bytes at `addr`.
+    pub fn read(&self, addr: u64, len: usize) -> Vec<u8> {
+        (0..len as u64).map(|i| self.read_byte(addr + i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_memory_reads_zero() {
+        let m = EagerMem::new();
+        assert_eq!(m.read(0x1000, 4), vec![0; 4]);
+    }
+
+    #[test]
+    fn writes_then_reads_round_trip() {
+        let mut m = EagerMem::new();
+        m.write(0x40, &[1, 2, 3]);
+        assert_eq!(m.read(0x3F, 5), vec![0, 1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn copy_is_eager_and_snapshotted() {
+        let mut m = EagerMem::new();
+        m.write(0x100, &[7; 64]);
+        m.copy(0x200, 0x100, 64);
+        // Later source writes do not affect the completed copy.
+        m.write(0x100, &[9; 64]);
+        assert_eq!(m.read(0x200, 64), vec![7; 64]);
+        assert_eq!(m.read(0x100, 64), vec![9; 64]);
+    }
+
+    #[test]
+    fn overlapping_copy_behaves_like_memmove() {
+        let mut m = EagerMem::new();
+        m.write(0x100, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        m.copy(0x104, 0x100, 8);
+        assert_eq!(m.read(0x104, 8), vec![1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+}

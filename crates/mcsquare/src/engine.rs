@@ -14,8 +14,9 @@ use crate::config::McSquareConfig;
 use crate::ctt::{Ctt, CttError, Fragment};
 use crate::ranges::ByteRange;
 use mcs_sim::addr::{PhysAddr, CACHELINE};
-use mcs_sim::data::LineData;
+use mcs_sim::data::{LineData, SparseMem};
 use mcs_sim::dram::channel_of;
+use mcs_sim::fault::{domain, FaultPlan, FaultStream};
 use mcs_sim::engine::{CopyEngine, EngineIo, Verdict};
 use mcs_sim::packet::{BounceInfo, FreeDesc, LazyDesc, MemCmd, Node, Packet};
 use mcs_sim::Cycle;
@@ -61,6 +62,9 @@ struct Recon {
     force_write: bool,
     /// Source lines pinned by this reconstruction.
     pinned: Vec<PhysAddr>,
+    /// A fragment was produced by a poisoned DRAM read: the assembled
+    /// line (responses, destination writebacks) carries poison onward.
+    poisoned: bool,
 }
 
 #[derive(Debug)]
@@ -76,6 +80,31 @@ enum TagKind {
 struct DrainJob {
     range: ByteRange,
     cursor: u64,
+}
+
+/// Deliberately disabled degradation paths, for chaos-harness mutants:
+/// each variant makes the engine *wrong* in a way the differential
+/// oracle must catch. Production code always runs with `None`.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum ChaosMutation {
+    /// Fully correct engine.
+    #[default]
+    None,
+    /// When a CTT-drop fault fires, lose the metadata silently instead of
+    /// repairing by eager re-copy — destination reads then return stale
+    /// memory.
+    DropWithoutRepair,
+}
+
+/// Fault state for the engine-level fault classes of a
+/// [`FaultPlan`]: forced CTT flushes and dropped CTT entries, both
+/// rolled once per successful CTT insert.
+#[derive(Debug)]
+struct EngineFault {
+    plan: FaultPlan,
+    flush: FaultStream,
+    drop: FaultStream,
+    pick: FaultStream,
 }
 
 /// Counters (exported into `RunStats::engine`).
@@ -95,6 +124,9 @@ struct Counters {
     drained_entries: u64,
     lazy_dest_writes: u64,
     mclazy_acked: u64,
+    forced_flushes: u64,
+    dropped_entries: u64,
+    eager_fallbacks: u64,
 }
 
 /// The (MC)² engine.
@@ -116,6 +148,9 @@ pub struct McSquareEngine {
     next_tag: u64,
     drains: Vec<Vec<DrainJob>>,
     n: Counters,
+    /// Injected engine faults (`None` ⇔ empty plan: zero-cost hooks).
+    fault: Option<EngineFault>,
+    mutation: ChaosMutation,
     /// BPQ entries `(mcid, line)` that were releasable at the previous
     /// `validate` call. `bpq_release_tick` runs every cycle, so an entry
     /// still releasable a full validation period later is stuck.
@@ -138,9 +173,31 @@ impl McSquareEngine {
             channels,
             cfg,
             n: Counters::default(),
+            fault: None,
+            mutation: ChaosMutation::None,
             #[cfg(feature = "check-invariants")]
             releasable_memo: std::collections::HashSet::new(),
         }
+    }
+
+    /// Create an engine with the engine-level fault classes of `plan`
+    /// armed (forced CTT flushes, dropped CTT entries).
+    pub fn with_faults(cfg: McSquareConfig, channels: usize, plan: &FaultPlan) -> McSquareEngine {
+        let mut e = McSquareEngine::new(cfg, channels);
+        if !plan.is_empty() {
+            e.fault = Some(EngineFault {
+                plan: plan.clone(),
+                flush: plan.stream(domain::CTT_FLUSH, 0),
+                drop: plan.stream(domain::CTT_DROP, 0),
+                pick: plan.stream(domain::CTT_PICK, 0),
+            });
+        }
+        e
+    }
+
+    /// Arm a chaos mutant (test harnesses only — see [`ChaosMutation`]).
+    pub fn set_chaos_mutation(&mut self, m: ChaosMutation) {
+        self.mutation = m;
     }
 
     /// Access the CTT (tests and instrumentation).
@@ -196,8 +253,9 @@ impl McSquareEngine {
                 (ReconState::Filling, Some(p)) => r.waiting.push(p),
                 (ReconState::AwaitingDestWrite, Some(p)) => {
                     // Data already assembled: answer immediately.
-                    let data = r.buf;
-                    io.send(p.make_read_resp(data));
+                    let mut resp = p.make_read_resp(r.buf);
+                    resp.poisoned = r.poisoned;
+                    io.send(resp);
                 }
                 (_, None) => {}
             }
@@ -205,7 +263,24 @@ impl McSquareEngine {
         }
 
         let frags = self.ctt.lookup_line(line);
+        self.start_recon_with(frags, mcid, line, cause, reader, io)
+    }
+
+    /// Start a reconstruction from an explicit fragment list. Used by
+    /// [`McSquareEngine::start_recon`] (fragments straight from the CTT)
+    /// and by dropped-entry repair, where the fragments are captured
+    /// *before* the faulty metadata loss and the entry is already gone.
+    fn start_recon_with(
+        &mut self,
+        frags: Vec<Fragment>,
+        mcid: usize,
+        line: PhysAddr,
+        cause: ReconCause,
+        reader: Option<Packet>,
+        io: &mut EngineIo,
+    ) -> bool {
         debug_assert!(!frags.is_empty(), "recon of untracked line {line:?}");
+        debug_assert!(!self.recons.contains_key(&line.0), "recon already in flight");
         match cause {
             ReconCause::Demand => self.n.recon_demand += 1,
             ReconCause::SrcFlush => self.n.recon_src_flush += 1,
@@ -247,6 +322,7 @@ impl McSquareEngine {
             superseded: false,
             force_write: cause == ReconCause::SrcFlush,
             pinned: Vec::new(),
+            poisoned: false,
         };
 
         for (dest_off, len, src) in plan {
@@ -278,6 +354,7 @@ impl McSquareEngine {
                     is_prefetch: false,
                     core: None,
                     needs_ack: false,
+                    poisoned: false,
                 };
                 io.send_after(pkt, self.cfg.ctt_latency);
             }
@@ -295,12 +372,14 @@ impl McSquareEngine {
         line: PhysAddr,
         dest_off: u32,
         bytes: &[u8],
+        poisoned: bool,
         io: &mut EngineIo,
     ) {
         let Some(r) = self.recons.get_mut(&line.0) else {
             return; // reconstruction superseded and discarded
         };
         r.buf.write(dest_off as usize, bytes);
+        r.poisoned |= poisoned;
         r.outstanding -= 1;
         if r.outstanding == 0 {
             self.finish_recon(line, io);
@@ -313,8 +392,11 @@ impl McSquareEngine {
         // Answer waiting readers (§III-B2 step 3: the packet is sent back
         // to the core as if it was read from the destination).
         let buf = r.buf;
+        let poisoned = r.poisoned;
         for p in std::mem::take(&mut r.waiting) {
-            io.send(p.make_read_resp(buf));
+            let mut resp = p.make_read_resp(buf);
+            resp.poisoned = poisoned;
+            io.send(resp);
         }
         // Unpin sources: the copy data is captured.
         let pinned = std::mem::take(&mut r.pinned);
@@ -344,7 +426,11 @@ impl McSquareEngine {
         let dest_mc = self.mc_of(line);
         if dest_mc == mcid {
             self.ctt.remove_dst(line, CACHELINE);
-            io.dram_write(line, buf);
+            if poisoned {
+                io.dram_write_poisoned(line, buf);
+            } else {
+                io.dram_write(line, buf);
+            }
             self.recons.remove(&line.0);
         } else {
             // The entry is untracked when the write arrives at the owning
@@ -359,6 +445,7 @@ impl McSquareEngine {
                 is_prefetch: false,
                 core: None,
                 needs_ack: false,
+                poisoned,
             };
             io.send(pkt);
             let r = self.recons.get_mut(&line.0).expect("recon present");
@@ -406,8 +493,10 @@ impl McSquareEngine {
                     is_prefetch: false,
                     core: pkt.core,
                     needs_ack: false,
+                    poisoned: false,
                 };
                 io.send(ack);
+                self.inject_post_insert_faults(mcid, io);
                 Verdict::Consumed
             }
             Err(CttError::Full) => {
@@ -507,6 +596,60 @@ impl McSquareEngine {
             return Verdict::Consumed;
         }
         Verdict::Pass(pkt)
+    }
+
+    /// Roll the engine-level fault classes once per successful CTT insert
+    /// (per-event, so the schedule is fast-forward safe):
+    ///
+    /// * **forced flush** — a CTT entry must be drained eagerly even below
+    ///   the occupancy threshold (models e.g. a metadata scrub);
+    /// * **dropped entry** — one tracked destination line's metadata is
+    ///   lost. The engine *detects* the loss and degrades gracefully: it
+    ///   captures the fragments first and repairs by eager re-copy, so
+    ///   memory stays correct (unless a [`ChaosMutation`] disables the
+    ///   repair to exercise the chaos harness).
+    fn inject_post_insert_faults(&mut self, mcid: usize, io: &mut EngineIo) {
+        let Some(f) = self.fault.as_mut() else {
+            return;
+        };
+        let do_flush = f.flush.roll(f.plan.ctt_flush_rate);
+        let drop_draw = f.drop.roll(f.plan.ctt_drop_rate).then(|| f.pick.next_u64());
+
+        if do_flush {
+            let exclude: Vec<ByteRange> = self.drains.iter().flatten().map(|d| d.range).collect();
+            if let Some((range, _)) = self.ctt.smallest_entry(|_| true, &exclude) {
+                let cursor = PhysAddr(range.start).line_base().0;
+                self.drains[mcid].push(DrainJob { range, cursor });
+                self.n.forced_flushes += 1;
+                io.fault_forced_flushes += 1;
+            }
+        }
+
+        if let Some(draw) = drop_draw {
+            // Victim: a tracked destination line with no reconstruction in
+            // flight (an in-flight recon already owns the fragments).
+            let cands: Vec<PhysAddr> = self
+                .ctt
+                .iter()
+                .map(|(r, _)| PhysAddr(r.start).line_base())
+                .filter(|l| !self.recons.contains_key(&l.0))
+                .collect();
+            if !cands.is_empty() {
+                let line = cands[(draw % cands.len() as u64) as usize];
+                let frags = self.ctt.lookup_line(line);
+                self.ctt.remove_dst(line, CACHELINE);
+                self.n.dropped_entries += 1;
+                if self.mutation == ChaosMutation::DropWithoutRepair {
+                    // Mutant: metadata silently lost, no repair. Reads of
+                    // `line` now return stale memory — the differential
+                    // oracle must flag this.
+                } else {
+                    self.n.eager_fallbacks += 1;
+                    io.fault_eager_fallbacks += 1;
+                    self.start_recon_with(frags, mcid, line, ReconCause::SrcFlush, None, io);
+                }
+            }
+        }
     }
 
     fn drain_tick(&mut self, mcid: usize, io: &mut EngineIo) {
@@ -623,7 +766,7 @@ impl CopyEngine for McSquareEngine {
             MemCmd::BounceResp(info) => {
                 let data = pkt.data.expect("bounce response carries data");
                 let bytes = data.read(info.dest_off as usize, info.len as usize).to_vec();
-                self.fragment_done(PhysAddr(info.token), info.dest_off, &bytes, io);
+                self.fragment_done(PhysAddr(info.token), info.dest_off, &bytes, pkt.poisoned, io);
                 Verdict::Consumed
             }
             _ => Verdict::Pass(pkt),
@@ -637,12 +780,13 @@ impl CopyEngine for McSquareEngine {
         tag: u64,
         _addr: PhysAddr,
         data: LineData,
+        poisoned: bool,
         io: &mut EngineIo,
     ) {
         match self.tags.remove(&tag).expect("unknown engine tag") {
             TagKind::Frag { dest_line, dest_off, len, src_off } => {
                 let bytes = data.read(src_off as usize, len as usize).to_vec();
-                self.fragment_done(dest_line, dest_off, &bytes, io);
+                self.fragment_done(dest_line, dest_off, &bytes, poisoned, io);
             }
             TagKind::BounceServe { info } => {
                 // Pack the fragment at its destination offset and reply.
@@ -658,6 +802,7 @@ impl CopyEngine for McSquareEngine {
                     is_prefetch: false,
                     core: None,
                     needs_ack: false,
+                    poisoned,
                 };
                 io.send(pkt);
             }
@@ -703,7 +848,33 @@ impl CopyEngine for McSquareEngine {
             ("lazy_dest_writes".into(), c.lazy_dest_writes),
             ("mclazy_acked".into(), c.mclazy_acked),
             ("bpq_peak".into(), self.bpqs.iter().map(|b| b.peak as u64).max().unwrap_or(0)),
+            ("forced_flushes".into(), c.forced_flushes),
+            ("dropped_entries".into(), c.dropped_entries),
+            ("eager_fallbacks".into(), c.eager_fallbacks),
         ]
+    }
+
+    /// The *materialized* value of `line`: BPQ-held source writes first
+    /// (they are newer than memory), then CTT-tracked fragments overlaid
+    /// on the destination line's backing memory. `None` for untracked
+    /// lines — memory is already authoritative there.
+    fn peek_line(&self, mem: &SparseMem, line: PhysAddr) -> Option<LineData> {
+        let line = line.line_base();
+        for b in &self.bpqs {
+            if let Some(d) = b.get(line) {
+                return Some(*d);
+            }
+        }
+        let frags = self.ctt.lookup_line(line);
+        if frags.is_empty() {
+            return None;
+        }
+        let mut buf = mem.read_line(line);
+        for Fragment { dst, len, src } in frags {
+            let bytes = mem.read_bytes(src, len as usize);
+            buf.write((dst.0 - line.0) as usize, &bytes);
+        }
+        Some(buf)
     }
 
     /// Audit the engine's internal bookkeeping (the `check-invariants`
@@ -825,6 +996,12 @@ mod tests {
         McSquareEngine::new(McSquareConfig::tiny(), 2)
     }
 
+    impl McSquareEngine {
+        fn counters_map(&self) -> HashMap<String, u64> {
+            self.counters().into_iter().collect()
+        }
+    }
+
     fn read_pkt(addr: u64, mc: usize) -> Packet {
         Packet::read(PhysAddr(addr), Node::Mc(mc))
     }
@@ -843,6 +1020,7 @@ mod tests {
             is_prefetch: false,
             core: Some(0),
             needs_ack: false,
+            poisoned: false,
         }
     }
 
@@ -904,7 +1082,7 @@ mod tests {
         let (tag, addr) = io.dram_reads[0];
         let mut io = EngineIo::default();
         io.wpq = (0, 8); // plenty of room: writeback allowed
-        e.on_dram_read(5, 0, tag, addr, LineData::splat(7), &mut io);
+        e.on_dram_read(5, 0, tag, addr, LineData::splat(7), false, &mut io);
         let resp = io.sends.iter().find(|(p, _)| p.cmd == MemCmd::ReadResp).expect("reply");
         assert_eq!(resp.0.id, req_id);
         assert_eq!(resp.0.data, Some(LineData::splat(7)));
@@ -921,7 +1099,7 @@ mod tests {
         let (tag, addr) = io.dram_reads[0];
         let mut io = EngineIo::default();
         io.wpq = (7, 8); // ≥ 75% full → reject (§III-B2)
-        e.on_dram_read(5, 0, tag, addr, LineData::splat(7), &mut io);
+        e.on_dram_read(5, 0, tag, addr, LineData::splat(7), false, &mut io);
         assert!(io.dram_writes.is_empty(), "writeback rejected under contention");
         assert!(e.ctt().covers_dst(PhysAddr(0x2000), 64), "entry stays tracked");
     }
@@ -1001,6 +1179,7 @@ mod tests {
             is_prefetch: false,
             core: None,
             needs_ack: false,
+            poisoned: false,
         };
         let mut io = EngineIo::default();
         assert!(matches!(e.on_arrive(0, 0, pkt, &mut io), Verdict::Consumed));
@@ -1025,6 +1204,97 @@ mod tests {
         assert!(
             !io.dram_reads.is_empty() || !io.sends.is_empty(),
             "above threshold the drain engine must start copying"
+        );
+    }
+
+    #[test]
+    fn forced_flush_fault_drains_below_threshold() {
+        let mut plan = FaultPlan::none();
+        plan.seed = 7;
+        plan.ctt_flush_rate = 1.0;
+        let mut e = McSquareEngine::with_faults(McSquareConfig::tiny(), 2, &plan);
+        insert(&mut e, 0x2000, 0x10000, 64); // occupancy 1/8: below threshold
+        assert_eq!(e.counters_map()["forced_flushes"], 1);
+        // The forced drain job copies the entry out on the next ticks.
+        let mut io = EngineIo::default();
+        e.tick(0, 0, &mut io);
+        e.tick(0, 1, &mut io);
+        assert!(
+            !io.dram_reads.is_empty() || !io.sends.is_empty(),
+            "forced flush must start copying despite sub-threshold occupancy"
+        );
+    }
+
+    #[test]
+    fn dropped_entry_is_repaired_by_eager_recopy() {
+        let mut plan = FaultPlan::none();
+        plan.seed = 7;
+        plan.ctt_drop_rate = 1.0;
+        let mut e = McSquareEngine::with_faults(McSquareConfig::tiny(), 2, &plan);
+        let mut io = EngineIo::default();
+        // Deliver controller 0's broadcast copy last: the insert (and the
+        // injected drop + repair) then execute at controller 0, which owns
+        // the source line — the repair read is local and visible in `io`.
+        let pkt = mclazy_pkt(0x2000, 0x10000, 64, 0);
+        assert!(matches!(e.on_arrive(0, 1, pkt.clone(), &mut io), Verdict::Consumed));
+        let mut io = EngineIo::default();
+        assert!(matches!(e.on_arrive(0, 0, pkt, &mut io), Verdict::Consumed));
+        assert!(!e.ctt().covers_dst(PhysAddr(0x2000), 64), "metadata dropped");
+        assert_eq!(e.counters_map()["dropped_entries"], 1);
+        assert_eq!(e.counters_map()["eager_fallbacks"], 1);
+        // Repair: an eager re-copy reconstruction reads the source.
+        assert_eq!(io.dram_reads.len(), 1, "repair re-copy starts immediately");
+        let (tag, addr) = io.dram_reads[0];
+        let mut io = EngineIo::default();
+        e.on_dram_read(1, 0, tag, addr, LineData::splat(9), false, &mut io);
+        assert_eq!(io.dram_writes.len(), 1, "repair writes the copy eagerly");
+        assert_eq!(io.dram_writes[0].0, PhysAddr(0x2000));
+        assert_eq!(io.dram_writes[0].1, LineData::splat(9));
+    }
+
+    #[test]
+    fn drop_without_repair_mutant_loses_the_copy() {
+        let mut plan = FaultPlan::none();
+        plan.seed = 7;
+        plan.ctt_drop_rate = 1.0;
+        let mut e = McSquareEngine::with_faults(McSquareConfig::tiny(), 2, &plan);
+        e.set_chaos_mutation(ChaosMutation::DropWithoutRepair);
+        insert(&mut e, 0x2000, 0x10000, 64);
+        assert!(!e.ctt().covers_dst(PhysAddr(0x2000), 64));
+        assert_eq!(e.counters_map()["dropped_entries"], 1);
+        assert_eq!(e.counters_map()["eager_fallbacks"], 0, "mutant skips the repair");
+        assert!(!e.busy(), "no repair reconstruction in flight");
+    }
+
+    #[test]
+    fn poisoned_fragment_taints_response_and_writeback() {
+        let mut e = engine();
+        insert(&mut e, 0x2000, 0x10000, 64);
+        let mut io = EngineIo::default();
+        assert!(matches!(e.on_arrive(0, 0, read_pkt(0x2000, 0), &mut io), Verdict::Consumed));
+        let (tag, addr) = io.dram_reads[0];
+        let mut io = EngineIo::default();
+        io.wpq = (0, 8);
+        e.on_dram_read(5, 0, tag, addr, LineData::splat(7), true, &mut io);
+        let resp = io.sends.iter().find(|(p, _)| p.cmd == MemCmd::ReadResp).expect("reply");
+        assert!(resp.0.poisoned, "poison propagates to the demand response");
+        assert_eq!(resp.0.data, Some(LineData::splat(7)), "bytes still functional");
+        assert_eq!(io.dram_writes.len(), 1);
+        assert!(io.dram_writes[0].2, "writeback re-poisons the destination line");
+    }
+
+    #[test]
+    fn peek_line_materializes_tracked_lines() {
+        let mut e = engine();
+        let mut mem = SparseMem::default();
+        mem.write_line(PhysAddr(0x10000), LineData::splat(3));
+        mem.write_line(PhysAddr(0x2000), LineData::splat(1));
+        assert_eq!(e.peek_line(&mem, PhysAddr(0x2000)), None, "untracked: memory rules");
+        insert(&mut e, 0x2000, 0x10000, 64);
+        assert_eq!(
+            e.peek_line(&mem, PhysAddr(0x2000)),
+            Some(LineData::splat(3)),
+            "tracked line reads through to the source bytes"
         );
     }
 

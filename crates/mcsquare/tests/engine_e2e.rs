@@ -438,3 +438,76 @@ fn eager_and_lazy_agree_on_final_memory_random_program() {
         "architectural memory diverged between eager and lazy execution"
     );
 }
+
+#[test]
+fn ctt_full_fallback_preserves_data_and_counts_rejects() {
+    // Regression for the `CttError::Full` path: when the CTT rejects an
+    // MCLAZY because the table is full, the request is retried at the
+    // controller until draining (or demand reconstruction) frees an entry
+    // — the copy must never be lost. Config::tiny + McSquareConfig::tiny
+    // (8 entries, drain at 50%) with a burst of distinct-page copies
+    // overruns the table deterministically.
+    let cfg = SystemConfig::tiny();
+    let mcfg = McSquareConfig::tiny();
+    let n = 24u64;
+    let mut uops = Vec::new();
+    let opts = LazyOpts { clwb_sources: false, fence: false, ..LazyOpts::default() };
+    for i in 0..n {
+        let dst = PhysAddr(0x400000 + i * 8192);
+        let src = PhysAddr(0x300000 + i * 8192);
+        uops.extend(memcpy_lazy_uops(uops.len() as u64, dst, src, 64, &opts));
+    }
+    uops.push(fence());
+    for i in 0..n {
+        uops.push(ld(PhysAddr(0x400000 + i * 8192), 64));
+    }
+    let mut sys = lazy_system(cfg, mcfg, uops);
+    for i in 0..n {
+        sys.poke(PhysAddr(0x300000 + i * 8192), &pattern(64, i as u8));
+    }
+    let (sys, stats) = run(sys);
+    assert!(
+        stats.engine_counter("ctt_full_rejects") >= 1,
+        "a 24-copy burst must overrun an 8-entry CTT: {stats}"
+    );
+    assert!(stats.engine_counter("ctt_full_retries") >= 1, "{stats}");
+    // Oracle: every destination equals its source pattern, as if copied
+    // eagerly — back-pressure degraded timing, not data.
+    for i in 0..n {
+        assert_eq!(
+            sys.peek_coherent(PhysAddr(0x400000 + i * 8192), 64),
+            pattern(64, i as u8),
+            "copy {i} lost under CTT-full back-pressure"
+        );
+    }
+}
+
+#[test]
+fn lazy_copy_survives_mild_fault_plan() {
+    // End-to-end graceful degradation: ECC retries, poisoned lines, link
+    // jitter/duplication, controller stalls, forced CTT flushes and
+    // dropped-entry repairs all active — the lazy copy must still be
+    // indistinguishable from an eager one at every load.
+    let mut cfg = SystemConfig::tiny();
+    cfg.fault = mcs_sim::fault::FaultPlan::mild(0xBAD5EED);
+    let mcfg = McSquareConfig::tiny();
+    let (src, dst) = (PhysAddr(0x100000), PhysAddr(0x200000));
+    let size = 8192u64;
+    let mut uops = memcpy_lazy_uops(0, dst, src, size, &LazyOpts::default());
+    for i in 0..(size / 64) {
+        uops.push(ld(dst.add(i * 64), 64));
+    }
+    uops.push(fence());
+    let engine = McSquareEngine::with_faults(mcfg, cfg.channels, &cfg.fault);
+    let mut sys = System::with_engine(
+        cfg,
+        vec![Box::new(FixedProgram::new(uops))],
+        Box::new(engine),
+    );
+    let data = pattern(size as usize, 21);
+    sys.poke(src, &data);
+    let stats = sys.run(50_000_000).expect("finishes under mild faults");
+    assert_eq!(sys.peek_coherent(dst, size as usize), data, "faults must not corrupt the copy");
+    let injected: u64 = stats.mcs.iter().map(|m| m.fault_events()).sum();
+    assert!(injected > 0, "mild plan must actually inject at this scale");
+}

@@ -220,6 +220,7 @@ impl Llc {
                         is_prefetch: false,
                         core: Some(core),
                         needs_ack: false,
+                        poisoned: false,
                     };
                     out.to_bus.push((pkt, self.cfg.hit_latency));
                 }
@@ -235,6 +236,7 @@ impl Llc {
                     is_prefetch: false,
                     core: None,
                     needs_ack: false,
+                    poisoned: false,
                 };
                 out.to_bus.push((pkt, self.cfg.hit_latency));
                 true
@@ -1037,6 +1039,7 @@ mod tests {
             is_prefetch: false,
             core: Some(0),
             needs_ack: false,
+            poisoned: false,
         };
         let mut out = LlcOut::default();
         llc.handle_pkt(3, ack, &mut out);

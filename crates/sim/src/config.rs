@@ -309,6 +309,9 @@ pub struct SystemConfig {
     /// CTT lookup latency in cycles, added to a bounced destination read
     /// (paper: 0.79 ns ≈ 3.16 cycles at 4 GHz; we round up to 4).
     pub ctt_latency: u64,
+    /// Fault-injection plan (empty = inject nothing, the default).
+    #[serde(default)]
+    pub fault: crate::fault::FaultPlan,
 }
 
 impl SystemConfig {
@@ -340,6 +343,7 @@ impl SystemConfig {
             mc: McConfig { rpq_cap: 48, ..McConfig::default() },
             links: LinkConfig::default(),
             ctt_latency: 4,
+            fault: crate::fault::FaultPlan::from_env(),
         }
     }
 
@@ -410,6 +414,7 @@ impl SystemConfig {
             mc: McConfig { rpq_cap: 8, wpq_cap: 8, wpq_drain_hi: 0.7, wpq_drain_lo: 0.2 },
             links: LinkConfig { core_l1: 1, l1_llc: 2, llc_mc: 4, mc_mc: 4 },
             ctt_latency: 1,
+            fault: crate::fault::FaultPlan::from_env(),
         }
     }
 

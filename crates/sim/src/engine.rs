@@ -12,7 +12,7 @@
 //! latency is part of the packet latencies on the interconnect).
 
 use crate::addr::PhysAddr;
-use crate::data::LineData;
+use crate::data::{LineData, SparseMem};
 use crate::packet::Packet;
 use crate::Cycle;
 
@@ -41,14 +41,22 @@ pub enum Verdict {
 pub struct EngineIo {
     /// (tag, line address) — reads to this controller's own channel.
     pub dram_reads: Vec<(u64, PhysAddr)>,
-    /// (line address, data) — writes to this controller's own channel.
-    pub dram_writes: Vec<(PhysAddr, LineData)>,
+    /// (line address, data, poisoned) — writes to this controller's own
+    /// channel. A poisoned write marks the line as carrying data derived
+    /// from an uncorrectable ECC error (materialize-or-poison).
+    pub dram_writes: Vec<(PhysAddr, LineData, bool)>,
     /// Packets to put on the interconnect (routed by `Packet::dest`),
     /// with an extra delay beyond the base interconnect latency.
     pub sends: Vec<(Packet, Cycle)>,
     /// Occupancy of this controller's write pending queue at call time,
     /// as (len, capacity) — the §III-B2 75% bandwidth-contention check.
     pub wpq: (usize, usize),
+    /// Forced CTT flushes injected during this call (fault accounting,
+    /// folded into [`crate::stats::McStats::forced_flushes`]).
+    pub fault_forced_flushes: u64,
+    /// Dropped-entry repairs (eager re-copies) performed during this call
+    /// (folded into [`crate::stats::McStats::eager_fallbacks`]).
+    pub fault_eager_fallbacks: u64,
 }
 
 impl EngineIo {
@@ -68,7 +76,13 @@ impl EngineIo {
 
     /// Issue a write of the line containing `addr` on this channel.
     pub fn dram_write(&mut self, addr: PhysAddr, data: LineData) {
-        self.dram_writes.push((addr.line_base(), data));
+        self.dram_writes.push((addr.line_base(), data, false));
+    }
+
+    /// Issue a write whose data is poisoned (derived from an uncorrectable
+    /// ECC error): the controller will mark the line poisoned on commit.
+    pub fn dram_write_poisoned(&mut self, addr: PhysAddr, data: LineData) {
+        self.dram_writes.push((addr.line_base(), data, true));
     }
 
     /// Send a packet on the interconnect after the base link latency.
@@ -90,6 +104,10 @@ pub trait CopyEngine: std::fmt::Debug {
     fn on_arrive(&mut self, now: Cycle, mcid: usize, pkt: Packet, io: &mut EngineIo) -> Verdict;
 
     /// A DRAM read issued through [`EngineIo::dram_read`] completed.
+    /// `poisoned` is true when the line suffered an uncorrectable ECC
+    /// error: the engine must materialize-or-poison anything derived from
+    /// this data.
+    #[allow(clippy::too_many_arguments)]
     fn on_dram_read(
         &mut self,
         now: Cycle,
@@ -97,6 +115,7 @@ pub trait CopyEngine: std::fmt::Debug {
         tag: u64,
         addr: PhysAddr,
         data: LineData,
+        poisoned: bool,
         io: &mut EngineIo,
     );
 
@@ -115,6 +134,17 @@ pub trait CopyEngine: std::fmt::Debug {
     /// Counters to merge into [`crate::stats::RunStats::engine`].
     fn counters(&self) -> Vec<(String, u64)> {
         Vec::new()
+    }
+
+    /// The engine's materialized view of `line`, if it tracks one: the
+    /// line's bytes as a demand read would observe them, with any lazily
+    /// tracked fragments overlaid on `mem`'s backing data. `None` when the
+    /// engine does not track the line (memory is authoritative). Used by
+    /// differential checkers to compare the machine's logical memory image
+    /// against an eager oracle without perturbing simulation state.
+    fn peek_line(&self, mem: &SparseMem, line: PhysAddr) -> Option<LineData> {
+        let _ = (mem, line);
+        None
     }
 
     /// Check the engine's internal invariants (called periodically by the
@@ -158,6 +188,7 @@ impl CopyEngine for NullEngine {
                     is_prefetch: false,
                     core: pkt.core,
                     needs_ack: false,
+                    poisoned: false,
                 };
                 io.send(ack);
                 Verdict::Consumed
@@ -174,6 +205,7 @@ impl CopyEngine for NullEngine {
         _tag: u64,
         _addr: PhysAddr,
         _data: LineData,
+        _poisoned: bool,
         _io: &mut EngineIo,
     ) {
         unreachable!("NullEngine never issues DRAM reads");
@@ -213,6 +245,7 @@ mod tests {
             is_prefetch: false,
             core: Some(0),
             needs_ack: false,
+            poisoned: false,
         };
         match e.on_arrive(0, 0, p, &mut io) {
             Verdict::Consumed => {}

@@ -52,6 +52,7 @@ pub mod core;
 pub mod data;
 pub mod dram;
 pub mod engine;
+pub mod fault;
 pub mod link;
 pub mod mc;
 pub mod packet;

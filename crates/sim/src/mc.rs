@@ -5,12 +5,13 @@ use crate::config::McConfig;
 use crate::data::{LineData, SparseMem};
 use crate::dram::{DramModel, RowOutcome};
 use crate::engine::{CopyEngine, EngineIo, Verdict};
+use crate::fault::{domain, FaultPlan, FaultStream};
 use crate::link::DelayQueue;
 use crate::packet::{MemCmd, Packet};
 use crate::stats::McStats;
 use crate::addr::PhysAddr;
 use crate::Cycle;
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
 
 /// Who asked for a DRAM read.
 #[derive(Debug, Clone)]
@@ -32,6 +33,9 @@ struct RpqEntry {
 struct WpqEntry {
     addr: PhysAddr,
     data: LineData,
+    /// The data was derived from an uncorrectable ECC error: committing
+    /// this write re-poisons the line instead of clearing it.
+    poison: bool,
 }
 
 #[derive(Debug)]
@@ -47,6 +51,25 @@ enum InflightKind {
     Write,
 }
 
+/// Per-controller fault-injection state. Present only when the configured
+/// [`FaultPlan`] is non-empty, so clean runs pay nothing and stay
+/// byte-identical. All decisions are per-*event* (per DRAM access, per
+/// accepted packet), never per cycle, so fault schedules are identical
+/// with and without idle skip-ahead.
+#[derive(Debug)]
+struct McFault {
+    plan: FaultPlan,
+    /// ECC decision stream (one roll per DRAM read, plus retry re-rolls).
+    ecc: FaultStream,
+    /// Transient-stall decision stream (one roll per accepted packet).
+    stall: FaultStream,
+    /// Lines currently carrying poison from an uncorrectable error.
+    /// Metadata only: the functional bytes in [`SparseMem`] stay correct.
+    poisoned: HashSet<u64>,
+    /// Input intake and DRAM scheduling are blocked until this cycle.
+    stall_until: Cycle,
+}
+
 /// One memory controller, fronting one DRAM channel.
 #[derive(Debug)]
 pub struct MemCtrl {
@@ -60,15 +83,25 @@ pub struct MemCtrl {
     /// Packets the engine asked to retry; reprocessed before new input so
     /// a blocked MCLAZY never head-of-line-blocks engine-critical traffic.
     retry_q: VecDeque<Packet>,
-    /// Engine reads satisfied by WPQ forwarding, delivered next tick.
-    engine_fwd: Vec<(u64, PhysAddr, LineData)>,
+    /// Engine reads satisfied by WPQ forwarding, delivered next tick
+    /// (tag, line, data, poisoned).
+    engine_fwd: Vec<(u64, PhysAddr, LineData, bool)>,
     draining: bool,
+    /// Fault-injection state (None ⇔ empty plan ⇒ all hooks are no-ops).
+    fault: Option<McFault>,
+    /// Human-readable reports of malformed packets this controller dropped
+    /// (bounded; see [`MemCtrl::audit_reports`]).
+    audit: Vec<String>,
     /// Statistics.
     pub stats: McStats,
 }
 
 /// How many input packets a controller accepts per cycle.
 const INPUT_PER_CYCLE: usize = 4;
+
+/// Cap on retained malformed-packet audit reports (the counter keeps
+/// counting past it).
+const AUDIT_CAP: usize = 32;
 
 impl MemCtrl {
     /// Create controller `id` with the given queue config and channel model.
@@ -83,7 +116,45 @@ impl MemCtrl {
             retry_q: VecDeque::new(),
             engine_fwd: Vec::new(),
             draining: false,
+            fault: None,
+            audit: Vec::new(),
             stats: McStats::default(),
+        }
+    }
+
+    /// Arm (or disarm) fault injection. An empty plan clears all fault
+    /// state; a non-empty one derives this controller's decision streams
+    /// from the plan seed and the controller index.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) {
+        self.fault = (!plan.is_empty()).then(|| McFault {
+            ecc: plan.stream(domain::ECC, self.id as u64),
+            stall: plan.stream(domain::MC_STALL, self.id as u64),
+            poisoned: HashSet::new(),
+            stall_until: 0,
+            plan: plan.clone(),
+        });
+    }
+
+    /// Audit log of malformed packets this controller dropped instead of
+    /// panicking on (first [`AUDIT_CAP`] reports retained;
+    /// [`McStats::malformed_packets`] counts them all).
+    pub fn audit_reports(&self) -> &[String] {
+        &self.audit
+    }
+
+    /// Lines currently poisoned by uncorrectable ECC errors, sorted
+    /// (diagnostics; empty without fault injection).
+    pub fn poisoned_lines(&self) -> Vec<u64> {
+        let mut v: Vec<u64> =
+            self.fault.as_ref().map(|f| f.poisoned.iter().copied().collect()).unwrap_or_default();
+        v.sort_unstable();
+        v
+    }
+
+    fn record_malformed(&mut self, report: String) {
+        self.stats.malformed_packets += 1;
+        if self.audit.len() < AUDIT_CAP {
+            self.audit.push(report);
         }
     }
 
@@ -103,7 +174,11 @@ impl MemCtrl {
         }
         let mut hint = self.inflight.iter().map(|f| f.done).min();
         if !self.rpq.is_empty() || !self.wpq.is_empty() {
-            let d = self.dram.next_ready();
+            let mut d = self.dram.next_ready();
+            if let Some(f) = &self.fault {
+                // Nothing schedules inside an injected stall window.
+                d = d.max(f.stall_until);
+            }
             hint = Some(hint.map_or(d, |h| h.min(d)));
         }
         hint
@@ -130,18 +205,20 @@ impl MemCtrl {
             // to the line is newer than DRAM contents.
             if let Some(w) = self.wpq.iter().rev().find(|w| w.addr == addr) {
                 self.stats.wpq_forwards += 1;
-                self.engine_fwd.push((tag, addr, w.data));
+                self.engine_fwd.push((tag, addr, w.data, w.poison));
                 continue;
             }
             self.rpq.push_back(RpqEntry { addr, origin: ReadOrigin::Engine(tag), enq: now });
         }
-        for (addr, data) in io.dram_writes {
+        for (addr, data, poison) in io.dram_writes {
             self.stats.engine_writes += 1;
-            self.wpq.push_back(WpqEntry { addr, data });
+            self.wpq.push_back(WpqEntry { addr, data, poison });
         }
         for send in io.sends {
             out.push(send);
         }
+        self.stats.forced_flushes += io.fault_forced_flushes;
+        self.stats.eager_fallbacks += io.fault_eager_fallbacks;
     }
 
     /// Advance one cycle.
@@ -175,9 +252,12 @@ impl MemCtrl {
         out: &mut Vec<(Packet, Cycle)>,
     ) {
         let fwd = std::mem::take(&mut self.engine_fwd);
-        for (tag, addr, data) in fwd {
+        for (tag, addr, data, poisoned) in fwd {
+            if poisoned {
+                self.stats.poisoned_reads += 1;
+            }
             let mut io = self.fresh_io();
-            engine.on_dram_read(now, self.id, tag, addr, data, &mut io);
+            engine.on_dram_read(now, self.id, tag, addr, data, poisoned, &mut io);
             self.apply_io(now, io, out);
         }
     }
@@ -196,13 +276,23 @@ impl MemCtrl {
                 match f.kind {
                     InflightKind::Read(origin) => {
                         let data = mem.read_line(f.addr);
+                        let poisoned = self
+                            .fault
+                            .as_ref()
+                            .is_some_and(|fs| fs.poisoned.contains(&f.addr.line_base().0));
+                        if poisoned {
+                            self.stats.poisoned_reads += 1;
+                        }
                         match origin {
                             ReadOrigin::Llc(req) => {
-                                out.push((req.make_read_resp(data), 0));
+                                let mut resp = req.make_read_resp(data);
+                                resp.poisoned = poisoned;
+                                out.push((resp, 0));
                             }
                             ReadOrigin::Engine(tag) => {
                                 let mut io = self.fresh_io();
-                                engine.on_dram_read(now, self.id, tag, f.addr, data, &mut io);
+                                engine
+                                    .on_dram_read(now, self.id, tag, f.addr, data, poisoned, &mut io);
                                 self.apply_io(now, io, out);
                             }
                         }
@@ -235,6 +325,17 @@ impl MemCtrl {
         engine: &mut dyn CopyEngine,
         out: &mut Vec<(Packet, Cycle)>,
     ) {
+        // Injected transient stall: the input port (and DRAM scheduler)
+        // is paused; the fault hook rolls per accepted packet, so the
+        // schedule is identical with and without idle skip-ahead.
+        if let Some(f) = &self.fault {
+            if now < f.stall_until {
+                if !self.retry_q.is_empty() || input.peek(now).is_some() {
+                    self.stats.fault_stall_cycles += 1;
+                }
+                return;
+            }
+        }
         // Engine-deferred packets first (e.g. MCLAZY waiting for CTT room).
         // They retry without blocking the packets behind them, which is
         // required for forward progress: freeing CTT entries depends on
@@ -275,6 +376,12 @@ impl MemCtrl {
                 _ => {}
             }
             let pkt = input.pop(now).expect("peeked");
+            if let Some(f) = self.fault.as_mut() {
+                if f.stall.roll(f.plan.mc_stall_rate) {
+                    f.stall_until = now + f.plan.mc_stall_cycles;
+                    self.stats.fault_stalls += 1;
+                }
+            }
             let mut io = self.fresh_io();
             let verdict = engine.on_arrive(now, self.id, pkt, &mut io);
             self.apply_io(now, io, out);
@@ -285,6 +392,10 @@ impl MemCtrl {
                     self.retry_q.push_back(pkt);
                 }
                 Verdict::Pass(pkt) => self.enqueue(now, pkt, out),
+            }
+            // A stall tripped by this packet pauses intake immediately.
+            if self.fault.as_ref().is_some_and(|f| now < f.stall_until) {
+                break;
             }
         }
     }
@@ -297,27 +408,51 @@ impl MemCtrl {
                 if let Some(w) = self.wpq.iter().rev().find(|w| w.addr == pkt.addr) {
                     self.stats.wpq_forwards += 1;
                     let data = w.data;
-                    out.push((pkt.make_read_resp(data), 0));
+                    let poison = w.poison;
+                    if poison {
+                        self.stats.poisoned_reads += 1;
+                    }
+                    let mut resp = pkt.make_read_resp(data);
+                    resp.poisoned = poison;
+                    out.push((resp, 0));
                     return;
                 }
                 self.rpq.push_back(RpqEntry { addr: pkt.addr, origin: ReadOrigin::Llc(pkt), enq: now });
             }
             MemCmd::WriteReq | MemCmd::LazyDestWrite => {
-                let data = pkt.data.expect("write without data");
+                // A write without a payload is a protocol violation by the
+                // sender; drop it and leave an audit trail rather than
+                // aborting the whole simulation.
+                let Some(data) = pkt.data else {
+                    self.record_malformed(format!(
+                        "mc{} @{now}: write without data dropped: {pkt:?}",
+                        self.id
+                    ));
+                    return;
+                };
                 if pkt.needs_ack {
                     out.push((pkt.make_write_ack(), 0));
                 }
-                self.wpq.push_back(WpqEntry { addr: pkt.addr, data });
+                self.wpq.push_back(WpqEntry { addr: pkt.addr, data, poison: pkt.poisoned });
             }
-            other => {
+            _ => {
                 // Mclazy/Mcfree/Bounce* are engine commands; with an engine
-                // present they never Pass. NullEngine consumes them too.
-                unreachable!("unexpected packet at MC{}: {other:?}", self.id);
+                // present they never Pass and NullEngine consumes them, so
+                // anything landing here is malformed traffic. Surface it as
+                // a diagnosable fault instead of an abort.
+                self.record_malformed(format!(
+                    "mc{} @{now}: unexpected command dropped: {pkt:?}",
+                    self.id
+                ));
             }
         }
     }
 
     fn schedule_dram(&mut self, now: Cycle, mem: &mut SparseMem) {
+        // Injected transient stall also pauses the DRAM scheduler.
+        if self.fault.as_ref().is_some_and(|f| now < f.stall_until) {
+            return;
+        }
         // Update drain mode hysteresis.
         let occ = self.wpq.len() as f64 / self.cfg.wpq_cap as f64;
         if (occ >= self.cfg.wpq_drain_hi || self.rpq.is_empty())
@@ -370,9 +505,32 @@ impl MemCtrl {
             .or_else(|| self.rpq.iter().position(ready));
         let Some(idx) = pick else { return false };
         let e = self.rpq.remove(idx).expect("index valid");
-        let (done, outcome) = self.dram.access(now, e.addr);
+        let (mut done, outcome) = self.dram.access(now, e.addr);
         self.note_row(outcome);
         self.stats.reads += 1;
+        if let Some(f) = self.fault.as_mut() {
+            if f.ecc.roll(f.plan.ecc_uncorrectable_rate) {
+                // Uncorrectable: poison the line. The response still
+                // carries the functional bytes (poison is metadata), so
+                // differential checks against an eager oracle remain valid.
+                self.stats.ecc_uncorrectable += 1;
+                f.poisoned.insert(e.addr.line_base().0);
+            } else if f.ecc.roll(f.plan.ecc_correctable_rate) {
+                // Correctable: bounded re-reads with exponential backoff.
+                // The retry occupies the same bank reservation; only the
+                // completion is delayed.
+                self.stats.ecc_corrected += 1;
+                let mut penalty = f.plan.ecc_penalty;
+                for _ in 0..f.plan.ecc_max_retries {
+                    self.stats.ecc_retries += 1;
+                    done += penalty;
+                    penalty = penalty.saturating_mul(2);
+                    if !f.ecc.roll(f.plan.ecc_correctable_rate) {
+                        break;
+                    }
+                }
+            }
+        }
         let _ = e.enq;
         self.inflight.push(Inflight { done, addr: e.addr, kind: InflightKind::Read(e.origin) });
         true
@@ -393,6 +551,15 @@ impl MemCtrl {
         // behind this write's bank occupancy, and reads that raced ahead
         // were already served by WPQ forwarding.
         mem.write_line(e.addr, e.data);
+        if let Some(f) = self.fault.as_mut() {
+            let line = e.addr.line_base().0;
+            if e.poison {
+                f.poisoned.insert(line);
+            } else {
+                // Fresh data overwrites the faulted cells: poison clears.
+                f.poisoned.remove(&line);
+            }
+        }
         self.inflight.push(Inflight { done, addr: e.addr, kind: InflightKind::Write });
         true
     }
@@ -503,5 +670,141 @@ mod tests {
         assert!(mc.idle());
         assert_eq!(mc.stats.writes, 10);
         assert_eq!(mem.read_line(PhysAddr(0)), LineData::splat(1));
+    }
+
+    #[test]
+    fn ecc_exact_accounting_at_rate_one() {
+        let (mut mc, mut input, mut mem, mut eng) = mk();
+        mc.set_fault_plan(&FaultPlan {
+            seed: 7,
+            ecc_correctable_rate: 1.0,
+            ecc_max_retries: 2,
+            ecc_penalty: 8,
+            ..FaultPlan::none()
+        });
+        for i in 0..10u64 {
+            input.push(0, Packet::read(PhysAddr(i * 64), Node::Mc(0)));
+        }
+        let resps = run(&mut mc, &mut input, &mut mem, &mut eng, 2000);
+        assert_eq!(resps.len(), 10, "retries delay but never lose reads");
+        // At rate 1.0 every DRAM read takes an error and every retry
+        // re-faults, so retries == corrected × max_retries exactly.
+        assert_eq!(mc.stats.ecc_corrected, 10);
+        assert_eq!(mc.stats.ecc_retries, 20);
+        assert_eq!(mc.stats.ecc_uncorrectable, 0);
+        assert_eq!(mc.stats.poisoned_reads, 0);
+        assert!(resps.iter().all(|r| !r.poisoned));
+    }
+
+    #[test]
+    fn ecc_retries_add_latency() {
+        let baseline = {
+            let (mut mc, mut input, mut mem, mut eng) = mk();
+            input.push(0, Packet::read(PhysAddr(0x40), Node::Mc(0)));
+            let mut done = 0;
+            for now in 0..500 {
+                let mut out = Vec::new();
+                mc.tick(now, &mut input, &mut eng, &mut mem, &mut out);
+                if !out.is_empty() {
+                    done = now;
+                    break;
+                }
+            }
+            done
+        };
+        let (mut mc, mut input, mut mem, mut eng) = mk();
+        mc.set_fault_plan(&FaultPlan {
+            seed: 7,
+            ecc_correctable_rate: 1.0,
+            ecc_max_retries: 2,
+            ecc_penalty: 8,
+            ..FaultPlan::none()
+        });
+        input.push(0, Packet::read(PhysAddr(0x40), Node::Mc(0)));
+        let mut done = 0;
+        for now in 0..500 {
+            let mut out = Vec::new();
+            mc.tick(now, &mut input, &mut eng, &mut mem, &mut out);
+            if !out.is_empty() {
+                done = now;
+                break;
+            }
+        }
+        // Two retries with 8-cycle exponential backoff: 8 + 16 = 24 extra.
+        assert_eq!(done, baseline + 24, "backoff penalty must be visible");
+    }
+
+    #[test]
+    fn uncorrectable_errors_poison_reads_until_rewritten() {
+        let (mut mc, mut input, mut mem, mut eng) = mk();
+        mc.set_fault_plan(&FaultPlan {
+            seed: 3,
+            ecc_uncorrectable_rate: 1.0,
+            ..FaultPlan::none()
+        });
+        mem.write_line(PhysAddr(0x40), LineData::splat(5));
+        input.push(0, Packet::read(PhysAddr(0x40), Node::Mc(0)));
+        let resps = run(&mut mc, &mut input, &mut mem, &mut eng, 100);
+        assert_eq!(resps.len(), 1);
+        assert!(resps[0].poisoned, "uncorrectable error must poison the response");
+        assert_eq!(resps[0].data, Some(LineData::splat(5)), "bytes stay functional");
+        assert_eq!(mc.stats.ecc_uncorrectable, 1);
+        assert_eq!(mc.stats.poisoned_reads, 1);
+        assert_eq!(mc.poisoned_lines(), vec![0x40]);
+        // A fresh write overwrites the faulted cells and clears the poison.
+        input.push(200, Packet::write(PhysAddr(0x40), LineData::splat(6), Node::Mc(0)));
+        for now in 200..400 {
+            let mut out = Vec::new();
+            mc.tick(now, &mut input, &mut eng, &mut mem, &mut out);
+        }
+        assert!(mc.idle());
+        assert!(mc.poisoned_lines().is_empty(), "write must clear poison");
+    }
+
+    #[test]
+    fn malformed_write_is_dropped_and_audited() {
+        let (mut mc, mut input, mut mem, mut eng) = mk();
+        let mut pkt = Packet::write(PhysAddr(0x40), LineData::splat(1), Node::Mc(0));
+        pkt.data = None;
+        input.push(0, pkt);
+        let resps = run(&mut mc, &mut input, &mut mem, &mut eng, 50);
+        assert!(resps.is_empty());
+        assert!(mc.idle(), "malformed packet must not wedge the controller");
+        assert_eq!(mc.stats.malformed_packets, 1);
+        assert_eq!(mc.audit_reports().len(), 1);
+        assert!(mc.audit_reports()[0].contains("write without data"), "{:?}", mc.audit_reports());
+    }
+
+    #[test]
+    fn unexpected_command_is_dropped_and_audited() {
+        let (mut mc, mut input, mut mem, mut eng) = mk();
+        // A ReadResp has no business arriving at a controller.
+        let req = Packet::read(PhysAddr(0x40), Node::Mc(0));
+        input.push(0, req.make_read_resp(LineData::ZERO));
+        let resps = run(&mut mc, &mut input, &mut mem, &mut eng, 50);
+        assert!(resps.is_empty());
+        assert!(mc.idle());
+        assert_eq!(mc.stats.malformed_packets, 1);
+        assert!(mc.audit_reports()[0].contains("unexpected command"), "{:?}", mc.audit_reports());
+    }
+
+    #[test]
+    fn transient_stalls_delay_but_never_lose_traffic() {
+        let (mut mc, mut input, mut mem, mut eng) = mk();
+        mc.set_fault_plan(&FaultPlan {
+            seed: 11,
+            mc_stall_rate: 1.0,
+            mc_stall_cycles: 20,
+            ..FaultPlan::none()
+        });
+        for i in 0..5u64 {
+            mem.write_line(PhysAddr(i * 64), LineData::splat(i as u8));
+            input.push(0, Packet::read(PhysAddr(i * 64), Node::Mc(0)));
+        }
+        let resps = run(&mut mc, &mut input, &mut mem, &mut eng, 2000);
+        assert_eq!(resps.len(), 5, "stalls delay but never drop reads");
+        assert!(mc.idle());
+        assert_eq!(mc.stats.fault_stalls, 5, "rate 1.0 trips one stall per accept");
+        assert!(mc.stats.fault_stall_cycles > 0);
     }
 }

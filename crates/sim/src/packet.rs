@@ -138,6 +138,12 @@ pub struct Packet {
     /// For `WriteReq`: request a `WriteAck` once the write is accepted by
     /// the memory controller (used by CLWB).
     pub needs_ack: bool,
+    /// Data payload is poisoned: it was produced from a DRAM line that
+    /// suffered an uncorrectable ECC error (see [`crate::fault`]). Poison
+    /// is metadata — the functional bytes are still simulated — and it
+    /// propagates with the data: poisoned reads, poisoned reconstructed
+    /// destination writes.
+    pub poisoned: bool,
 }
 
 impl Packet {
@@ -152,6 +158,7 @@ impl Packet {
             is_prefetch: false,
             core: None,
             needs_ack: false,
+            poisoned: false,
         }
     }
 
@@ -166,6 +173,7 @@ impl Packet {
             is_prefetch: false,
             core: None,
             needs_ack: false,
+            poisoned: false,
         }
     }
 
@@ -184,6 +192,7 @@ impl Packet {
             is_prefetch: self.is_prefetch,
             core: self.core,
             needs_ack: false,
+            poisoned: false,
         }
     }
 
@@ -205,6 +214,7 @@ impl Packet {
             is_prefetch: false,
             core: self.core,
             needs_ack: false,
+            poisoned: false,
         }
     }
 }
@@ -213,13 +223,14 @@ impl fmt::Debug for Packet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "Packet#{}{{{:?} @{:?} -> {:?}{}{}}}",
+            "Packet#{}{{{:?} @{:?} -> {:?}{}{}{}}}",
             self.id,
             self.cmd,
             self.addr,
             self.dest,
             if self.is_prefetch { " pf" } else { "" },
             if self.data.is_some() { " +data" } else { "" },
+            if self.poisoned { " poison" } else { "" },
         )
     }
 }

@@ -149,6 +149,42 @@ pub struct McStats {
     /// Engine-generated DRAM reads/writes (lazy copies, drains).
     pub engine_reads: u64,
     pub engine_writes: u64,
+    /// Correctable ECC errors observed on DRAM accesses (each triggered a
+    /// bounded retry-with-backoff; injected, see [`crate::fault`]).
+    pub ecc_corrected: u64,
+    /// Re-read attempts spent correcting ECC errors.
+    pub ecc_retries: u64,
+    /// Uncorrectable ECC errors: the line was poisoned.
+    pub ecc_uncorrectable: u64,
+    /// Demand/engine reads that returned poisoned data.
+    pub poisoned_reads: u64,
+    /// Forced CTT flushes the copy engine performed under injected faults.
+    pub forced_flushes: u64,
+    /// Dropped-CTT-entry repairs: the engine detected lost copy metadata
+    /// and eagerly re-copied the affected line.
+    pub eager_fallbacks: u64,
+    /// Transient controller stall windows tripped by injected faults.
+    pub fault_stalls: u64,
+    /// Cycles the input port was blocked inside injected stall windows.
+    pub fault_stall_cycles: u64,
+    /// Malformed packets dropped (and reported via the audit log) instead
+    /// of processed.
+    pub malformed_packets: u64,
+}
+
+impl McStats {
+    /// Sum of all fault/degradation counters; 0 on a clean (empty
+    /// fault-plan) run, which keeps summary output byte-identical.
+    pub fn fault_events(&self) -> u64 {
+        self.ecc_corrected
+            + self.ecc_retries
+            + self.ecc_uncorrectable
+            + self.poisoned_reads
+            + self.forced_flushes
+            + self.eager_fallbacks
+            + self.fault_stalls
+            + self.malformed_packets
+    }
 }
 
 /// Statistics of one full run.
@@ -232,6 +268,22 @@ impl fmt::Display for RunStats {
                 m.refreshes,
                 m.input_stall_cycles
             )?;
+            if m.fault_events() > 0 {
+                writeln!(
+                    f,
+                    "  mc{i}.faults: ecc_corr={} ecc_retry={} ecc_uncorr={} \
+poisoned_rd={} forced_flush={} eager_fb={} stalls={}/{}cy malformed={}",
+                    m.ecc_corrected,
+                    m.ecc_retries,
+                    m.ecc_uncorrectable,
+                    m.poisoned_reads,
+                    m.forced_flushes,
+                    m.eager_fallbacks,
+                    m.fault_stalls,
+                    m.fault_stall_cycles,
+                    m.malformed_packets
+                )?;
+            }
         }
         for (k, v) in &self.engine {
             writeln!(f, "  engine.{k}: {v}")?;
@@ -320,6 +372,21 @@ mod tests {
         assert!(s.contains("rowmiss=2"), "{s}");
         assert!(s.contains("rowconf=1"), "{s}");
         assert!(s.contains("refresh=4"), "{s}");
+    }
+
+    #[test]
+    fn fault_counters_print_only_when_nonzero() {
+        let mut rs = RunStats::default();
+        rs.mcs.push(McStats::default());
+        let clean = format!("{rs}");
+        assert!(!clean.contains("faults"), "clean run must not print fault line: {clean}");
+        rs.mcs[0].ecc_corrected = 2;
+        rs.mcs[0].ecc_retries = 4;
+        rs.mcs[0].poisoned_reads = 1;
+        let s = format!("{rs}");
+        assert!(s.contains("ecc_corr=2"), "{s}");
+        assert!(s.contains("ecc_retry=4"), "{s}");
+        assert!(s.contains("poisoned_rd=1"), "{s}");
     }
 
     #[test]

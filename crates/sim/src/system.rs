@@ -17,7 +17,9 @@ use crate::stats::RunStats;
 use crate::addr::{lines_of, PhysAddr};
 use crate::Cycle;
 
-/// Why a run stopped early.
+/// Why a run stopped early. Both variants carry enough per-component
+/// state — memory-controller queue depths and per-core pipeline snapshots
+/// — that a hung run is debuggable from the error value alone.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
     /// The cycle budget was exhausted before all programs finished.
@@ -26,14 +28,70 @@ pub enum SimError {
         max_cycles: Cycle,
         /// Cores that had not finished.
         unfinished: Vec<usize>,
+        /// Per-MC (rpq, wpq, inflight) depths at the timeout.
+        mc_queues: Vec<(usize, usize, usize)>,
+        /// Per-core pipeline snapshots (ROB head, fence state, store
+        /// buffer, outstanding loads) at the timeout.
+        cores: Vec<String>,
     },
+    /// The liveness watchdog fired: no component made forward progress
+    /// (retires, DRAM accesses, LLC activity) for a whole observation
+    /// window while work was still outstanding.
+    Livelock {
+        /// Cycle at which the watchdog gave up.
+        at: Cycle,
+        /// Consecutive progress-free ticks that triggered it.
+        idle_for: Cycle,
+        /// Cores that had not finished.
+        unfinished: Vec<usize>,
+        /// Per-MC (rpq, wpq, inflight) depths when the watchdog fired.
+        mc_queues: Vec<(usize, usize, usize)>,
+        /// Per-core pipeline snapshots when the watchdog fired.
+        cores: Vec<String>,
+    },
+}
+
+impl SimError {
+    /// Per-MC (rpq, wpq, inflight) depths captured when the run stopped.
+    pub fn mc_queues(&self) -> &[(usize, usize, usize)] {
+        match self {
+            SimError::Timeout { mc_queues, .. } | SimError::Livelock { mc_queues, .. } => mc_queues,
+        }
+    }
+
+    /// Per-core pipeline snapshots captured when the run stopped.
+    pub fn core_states(&self) -> &[String] {
+        match self {
+            SimError::Timeout { cores, .. } | SimError::Livelock { cores, .. } => cores,
+        }
+    }
 }
 
 impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SimError::Timeout { max_cycles, unfinished } => {
-                write!(f, "simulation exceeded {max_cycles} cycles; unfinished cores {unfinished:?}")
+            SimError::Timeout { max_cycles, unfinished, mc_queues, cores } => {
+                writeln!(
+                    f,
+                    "simulation exceeded {max_cycles} cycles; unfinished cores {unfinished:?}"
+                )?;
+                writeln!(f, "  mc queues (rpq, wpq, inflight): {mc_queues:?}")?;
+                for c in cores {
+                    writeln!(f, "  {c}")?;
+                }
+                Ok(())
+            }
+            SimError::Livelock { at, idle_for, unfinished, mc_queues, cores } => {
+                writeln!(
+                    f,
+                    "livelock: no forward progress for {idle_for} ticks \
+(gave up at cycle {at}); unfinished cores {unfinished:?}"
+                )?;
+                writeln!(f, "  mc queues (rpq, wpq, inflight): {mc_queues:?}")?;
+                for c in cores {
+                    writeln!(f, "  {c}")?;
+                }
+                Ok(())
             }
         }
     }
@@ -61,8 +119,30 @@ pub struct System {
     l1_to_llc_resp: Vec<DelayQueue<L1ToLlc>>,
     llc_to_l1: Vec<DelayQueue<LlcToL1>>,
     fast_forward: bool,
+    /// Interconnect fault streams (None ⇔ empty plan).
+    link_fault: Option<LinkFaults>,
     #[cfg(feature = "check-invariants")]
     checker: crate::check::Checker,
+}
+
+/// Decision streams for interconnect faults (jitter, duplication).
+struct LinkFaults {
+    jitter: crate::fault::FaultStream,
+    dup: crate::fault::FaultStream,
+}
+
+/// Whether an interconnect packet may safely be delivered twice: posted
+/// (unacked) writes are idempotent re-applications of the same line data,
+/// `Mcfree` is a hint, and the LLC ignores stray `MclazyAck`s. Everything
+/// matched against an outstanding request (responses, acks that complete
+/// CLWBs, engine commands that mutate the CTT) must not be duplicated.
+fn dup_safe(pkt: &crate::packet::Packet) -> bool {
+    use crate::packet::MemCmd;
+    match pkt.cmd {
+        MemCmd::Mcfree(_) | MemCmd::MclazyAck => true,
+        MemCmd::WriteReq | MemCmd::LazyDestWrite => !pkt.needs_ack,
+        _ => false,
+    }
 }
 
 impl std::fmt::Debug for System {
@@ -96,9 +176,16 @@ impl System {
         let l1s: Vec<L1> = (0..cfg.cores).map(|i| L1::new(i, cfg.l1.clone())).collect();
         let llc = Llc::new(cfg.llc.clone(), cfg.channels);
         let bus = Bus::new(cfg.channels, cfg.links.llc_mc, cfg.links.mc_mc);
-        let mcs: Vec<MemCtrl> = (0..cfg.channels)
+        let mut mcs: Vec<MemCtrl> = (0..cfg.channels)
             .map(|i| MemCtrl::new(i, cfg.mc.clone(), crate::dram::build(&cfg.dram, cfg.channels)))
             .collect();
+        for mc in &mut mcs {
+            mc.set_fault_plan(&cfg.fault);
+        }
+        let link_fault = (!cfg.fault.is_empty()).then(|| LinkFaults {
+            jitter: cfg.fault.stream(crate::fault::domain::LINK_JITTER, 0),
+            dup: cfg.fault.stream(crate::fault::domain::LINK_DUP, 0),
+        });
         fn mk<T>(n: usize, lat: Cycle) -> Vec<DelayQueue<T>> {
             (0..n).map(|_| DelayQueue::new(lat)).collect()
         }
@@ -118,10 +205,33 @@ impl System {
             l1_to_llc_resp: mk(n, cfg.links.l1_llc),
             llc_to_l1: mk(n, cfg.links.l1_llc),
             fast_forward: true,
+            link_fault,
             #[cfg(feature = "check-invariants")]
             checker: crate::check::Checker::default(),
             cfg,
         }
+    }
+
+    /// Put `pkt` on the memory interconnect, applying any configured link
+    /// faults: jitter delays the send, and duplication-safe packets may be
+    /// delivered twice (one cycle apart). Rolls are per-send, so the fault
+    /// schedule is independent of idle skip-ahead.
+    fn send_bus(&mut self, now: Cycle, pkt: crate::packet::Packet, extra: Cycle) {
+        let mut extra = extra;
+        if let Some(lf) = self.link_fault.as_mut() {
+            if lf.jitter.roll(self.cfg.fault.link_jitter_rate) {
+                extra += self.cfg.fault.link_jitter_cycles;
+            }
+            if lf.dup.roll(self.cfg.fault.link_dup_rate) && dup_safe(&pkt) {
+                let dup = pkt.clone();
+                #[cfg(feature = "check-invariants")]
+                self.checker.observe_send(&dup);
+                self.bus.send(now, dup, extra + 1);
+            }
+        }
+        #[cfg(feature = "check-invariants")]
+        self.checker.observe_send(&pkt);
+        self.bus.send(now, pkt, extra);
     }
 
     /// Current simulated time.
@@ -259,9 +369,7 @@ impl System {
                 self.llc_to_l1[l1].push_after(now, extra, m);
             }
             for (pkt, extra) in out.to_bus {
-                #[cfg(feature = "check-invariants")]
-                self.checker.observe_send(&pkt);
-                self.bus.send(now, pkt, extra);
+                self.send_bus(now, pkt, extra);
             }
         }
 
@@ -273,9 +381,7 @@ impl System {
             self.mcs[i].tick(now, &mut input, self.engine.as_mut(), &mut self.mem, &mut out);
             self.bus.to_mc[i] = input;
             for (pkt, extra) in out {
-                #[cfg(feature = "check-invariants")]
-                self.checker.observe_send(&pkt);
-                self.bus.send(now, pkt, extra);
+                self.send_bus(now, pkt, extra);
             }
         }
 
@@ -415,10 +521,84 @@ impl System {
     /// # Errors
     /// Returns [`SimError::Timeout`] if the budget is exhausted first.
     pub fn run(&mut self, max_cycles: Cycle) -> Result<RunStats, SimError> {
+        self.run_inner(max_cycles, None)
+    }
+
+    /// Like [`System::run`], but with a liveness watchdog: if no component
+    /// makes forward progress (core retires, DRAM accesses or forwards,
+    /// LLC hits/misses) for `window` consecutive executed ticks while work
+    /// is still outstanding, the run aborts with [`SimError::Livelock`]
+    /// carrying per-component queue snapshots. Ticks, not cycles: idle
+    /// skip-ahead jumps (which are legitimate waits) never trip it.
+    ///
+    /// # Errors
+    /// [`SimError::Timeout`] or [`SimError::Livelock`].
+    pub fn run_with_watchdog(
+        &mut self,
+        max_cycles: Cycle,
+        window: Cycle,
+    ) -> Result<RunStats, SimError> {
+        self.run_inner(max_cycles, Some(window))
+    }
+
+    /// Monotonic activity measure for the liveness watchdog.
+    fn progress_metric(&self) -> u64 {
+        self.cores.iter().map(|c| c.stats.retired).sum::<u64>()
+            + self
+                .mcs
+                .iter()
+                .map(|m| m.stats.reads + m.stats.writes + m.stats.wpq_forwards)
+                .sum::<u64>()
+            + self.llc.stats.hits
+            + self.llc.stats.misses
+    }
+
+    fn unfinished_cores(&self) -> Vec<usize> {
+        self.cores
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.finished())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn mc_queue_snapshot(&self) -> Vec<(usize, usize, usize)> {
+        self.mcs.iter().map(|m| m.queue_depths()).collect()
+    }
+
+    fn core_snapshot(&self) -> Vec<String> {
+        self.cores.iter().map(|c| c.debug_state()).collect()
+    }
+
+    fn run_inner(
+        &mut self,
+        max_cycles: Cycle,
+        watchdog: Option<Cycle>,
+    ) -> Result<RunStats, SimError> {
         let start = self.now;
         let mut stable = 0u32;
+        let mut last_metric = self.progress_metric();
+        let mut idle_ticks: Cycle = 0;
         while self.now - start < max_cycles {
             self.tick();
+            if let Some(window) = watchdog {
+                let m = self.progress_metric();
+                if m != last_metric {
+                    last_metric = m;
+                    idle_ticks = 0;
+                } else {
+                    idle_ticks += 1;
+                    if idle_ticks >= window && !self.all_done() {
+                        return Err(SimError::Livelock {
+                            at: self.now,
+                            idle_for: idle_ticks,
+                            unfinished: self.unfinished_cores(),
+                            mc_queues: self.mc_queue_snapshot(),
+                            cores: self.core_snapshot(),
+                        });
+                    }
+                }
+            }
             if self.all_done() {
                 // A few grace ticks so posted work settles, then stop.
                 stable += 1;
@@ -434,6 +614,24 @@ impl System {
                 if self.fast_forward {
                     if let Some(target) = self.skip_target() {
                         if self.cores.iter().all(|c| c.finished() || !c_active(c)) {
+                            // With the watchdog armed, a skip of a whole
+                            // observation window means nothing in the
+                            // machine can act for `window` cycles while
+                            // work is outstanding (e.g. an injected stall
+                            // parked traffic inside a controller): that is
+                            // a livelock, not a wait — report it rather
+                            // than silently jumping over it.
+                            if let Some(window) = watchdog {
+                                if target.saturating_sub(self.now) >= window {
+                                    return Err(SimError::Livelock {
+                                        at: self.now,
+                                        idle_for: target - self.now,
+                                        unfinished: self.unfinished_cores(),
+                                        mc_queues: self.mc_queue_snapshot(),
+                                        cores: self.core_snapshot(),
+                                    });
+                                }
+                            }
                             self.now = target.max(self.now);
                         }
                     }
@@ -442,13 +640,9 @@ impl System {
         }
         Err(SimError::Timeout {
             max_cycles,
-            unfinished: self
-                .cores
-                .iter()
-                .enumerate()
-                .filter(|(_, c)| !c.finished())
-                .map(|(i, _)| i)
-                .collect(),
+            unfinished: self.unfinished_cores(),
+            mc_queues: self.mc_queue_snapshot(),
+            cores: self.core_snapshot(),
         })
     }
 
@@ -510,6 +704,39 @@ impl System {
     /// Whether every core's program completed (may still be draining).
     pub fn cores_finished(&self) -> bool {
         self.cores.iter().all(|c| c.finished())
+    }
+
+    /// All malformed-packet audit reports across controllers.
+    pub fn audit_reports(&self) -> Vec<String> {
+        self.mcs.iter().flat_map(|m| m.audit_reports().iter().cloned()).collect()
+    }
+
+    /// Read bytes as the *materialized* logical memory image: like
+    /// [`System::peek_coherent`], but lines the copy engine still tracks
+    /// lazily are reconstructed through [`CopyEngine::peek_line`] instead
+    /// of read stale from DRAM. This is the view a demand read would
+    /// return, and the one differential checkers compare against an eager
+    /// oracle. Meaningful after a drained run (no in-flight recons).
+    pub fn peek_materialized(&self, addr: PhysAddr, len: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(len);
+        let mut a = addr;
+        let mut rem = len;
+        while rem > 0 {
+            let off = a.line_off() as usize;
+            let take = rem.min(64 - off);
+            let line = self
+                .l1s
+                .iter()
+                .rev()
+                .find_map(|l1| l1.peek_line(a).copied())
+                .or_else(|| self.llc.peek_line(a).copied())
+                .or_else(|| self.engine.peek_line(&self.mem, a.line_base()))
+                .unwrap_or_else(|| self.mem.read_line(a));
+            out.extend_from_slice(line.read(off, take));
+            a = a.add(take as u64);
+            rem -= take;
+        }
+        out
     }
 
     /// Audit global invariants: coherence directory agreement, copy-engine
@@ -907,7 +1134,107 @@ mod tests {
             System::new(SystemConfig::tiny(), vec![Box::new(FixedProgram::new(vec![ld(0, 8)]))]);
         let err = sys.run(1).unwrap_err();
         match err {
-            SimError::Timeout { unfinished, .. } => assert_eq!(unfinished, vec![0]),
+            SimError::Timeout { ref unfinished, ref cores, .. } => {
+                assert_eq!(unfinished, &vec![0]);
+                assert_eq!(cores.len(), 1, "per-core diagnostics included");
+            }
+            ref other => panic!("expected timeout, got {other:?}"),
         }
+        // The error alone carries the queue and pipeline diagnostics.
+        assert_eq!(err.mc_queues().len(), 2);
+        assert!(err.core_states()[0].contains("core0"), "{:?}", err.core_states());
+    }
+
+    #[test]
+    fn watchdog_reports_livelock_with_queue_snapshots() {
+        // An injected controller stall far longer than the watchdog window
+        // freezes all progress while queues stay occupied: a fabricated
+        // hang the watchdog must convert into a structured error.
+        let mut cfg = SystemConfig::tiny();
+        cfg.fault = crate::fault::FaultPlan {
+            seed: 1,
+            mc_stall_rate: 1.0,
+            mc_stall_cycles: 10_000_000,
+            ..crate::fault::FaultPlan::none()
+        };
+        let uops: Vec<Uop> = (0..4u64).map(|i| ld(0x1000 + i * 4096, 8)).collect();
+        let mut sys = System::new(cfg, vec![Box::new(FixedProgram::new(uops))]);
+        let err = sys.run_with_watchdog(5_000_000, 2_000).unwrap_err();
+        match err {
+            SimError::Livelock { idle_for, ref unfinished, ref mc_queues, ref cores, .. } => {
+                assert!(idle_for >= 2_000);
+                assert_eq!(unfinished, &vec![0]);
+                assert_eq!(mc_queues.len(), 2);
+                assert!(
+                    mc_queues.iter().any(|&(r, w, f)| r + w + f > 0),
+                    "stalled work must be visible in the snapshot: {mc_queues:?}"
+                );
+                assert!(!cores.is_empty());
+            }
+            other => panic!("expected livelock, got {other}"),
+        }
+    }
+
+    #[test]
+    fn watchdog_does_not_fire_on_healthy_runs() {
+        let uops: Vec<Uop> = (0..20u64).map(|i| ld(0x5000 + i * 4096, 8)).collect();
+        let mut sys = System::new(SystemConfig::tiny(), vec![Box::new(FixedProgram::new(uops))]);
+        sys.run_with_watchdog(1_000_000, 2_000).expect("healthy run passes the watchdog");
+    }
+
+    #[test]
+    fn fault_plan_runs_are_deterministic_and_complete() {
+        let mk = || {
+            let mut cfg = SystemConfig::tiny();
+            cfg.fault = crate::fault::FaultPlan::mild(0xD06);
+            let mut uops = Vec::new();
+            for i in 0..40u64 {
+                uops.push(st(0x9000 + i * 64, &[i as u8]));
+                uops.push(ld(0x1000 + (i * 97 % 64) * 64, 8));
+            }
+            uops.push(Uop::new(UopKind::Mfence, StatTag::App));
+            System::new(cfg, vec![Box::new(FixedProgram::new(uops))])
+        };
+        let mut a = mk();
+        let sa = a.run(5_000_000).expect("finishes under mild faults");
+        let mut b = mk();
+        let sb = b.run(5_000_000).expect("finishes under mild faults");
+        // Identical seed + plan ⇒ identical fault schedule, timing, stats,
+        // and final memory image.
+        assert_eq!(sa.cycles, sb.cycles);
+        let fa: Vec<u64> = sa.mcs.iter().map(|m| m.fault_events()).collect();
+        let fb: Vec<u64> = sb.mcs.iter().map(|m| m.fault_events()).collect();
+        assert_eq!(fa, fb);
+        assert!(fa.iter().sum::<u64>() > 0, "mild plan must actually inject: {fa:?}");
+        assert_eq!(
+            a.peek_coherent(PhysAddr(0x9000), 40 * 64),
+            b.peek_coherent(PhysAddr(0x9000), 40 * 64)
+        );
+        // Faults degrade timing, never data.
+        for i in 0..40u64 {
+            assert_eq!(a.peek_coherent(PhysAddr(0x9000 + i * 64), 1), vec![i as u8]);
+        }
+    }
+
+    #[test]
+    fn fault_fast_forward_matches_slow_path() {
+        // Fault rolls are per-event, so the schedule must be identical
+        // with and without idle skip-ahead.
+        let mk = || {
+            let mut cfg = SystemConfig::tiny();
+            cfg.fault = crate::fault::FaultPlan::mild(0xFF1);
+            let uops: Vec<Uop> = (0..20u64).map(|i| ld(0x5000 + i * 4096, 8)).collect();
+            System::new(cfg, vec![Box::new(FixedProgram::new(uops))])
+        };
+        let mut a = mk();
+        a.set_fast_forward(false);
+        let sa = a.run(5_000_000).unwrap();
+        let mut b = mk();
+        b.set_fast_forward(true);
+        let sb = b.run(5_000_000).unwrap();
+        assert_eq!(sa.cycles, sb.cycles, "skip-ahead must not change the fault schedule");
+        let fa: Vec<u64> = sa.mcs.iter().map(|m| m.fault_events()).collect();
+        let fb: Vec<u64> = sb.mcs.iter().map(|m| m.fault_events()).collect();
+        assert_eq!(fa, fb);
     }
 }
