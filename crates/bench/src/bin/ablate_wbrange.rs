@@ -6,10 +6,10 @@
 //! measures the lazy copy latency with per-line CLWBs vs. one WBRANGE per
 //! page chunk, and verifies the end state stays correct either way.
 
-use mcs_bench::{f3, fmt_size, ns, Job, Table};
+use mcs_bench::{marker0, f3, fmt_size, ns, Job, Table};
 use mcs_sim::alloc::AddrSpace;
 use mcs_sim::config::SystemConfig;
-use mcs_workloads::common::{marker, marker_latencies, pattern, Pokes};
+use mcs_workloads::common::{marker, pattern, Pokes};
 use mcsquare::software::{memcpy_lazy_uops, LazyOpts};
 use mcsquare::McSquareConfig;
 
@@ -37,9 +37,10 @@ fn main() {
         &["size", "clwb_per_line_ns", "wbrange_ns", "speedup"],
     );
     for (i, &size) in sizes.iter().enumerate() {
-        let a = marker_latencies(&results[2 * i].1.cores[0])[0];
-        let b = marker_latencies(&results[2 * i + 1].1.cores[0])[0];
+        let a = marker0(&results[2 * i].1);
+        let b = marker0(&results[2 * i + 1].1);
         table.row(vec![fmt_size(size), f3(ns(a)), f3(ns(b)), f3(a as f64 / b as f64)]);
     }
     table.emit();
+    mcs_bench::print_sim_throughput();
 }

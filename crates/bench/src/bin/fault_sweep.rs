@@ -13,12 +13,11 @@
 //! Emits `results/fault_sweep.tsv`. Pass `--smoke` for the seconds-long
 //! CI variant (one size, same code paths).
 
-use mcs_bench::{f3, fmt_size, ns, Job, Table};
+use mcs_bench::{marker0, f3, fmt_size, ns, Job, Table};
 use mcs_sim::alloc::AddrSpace;
 use mcs_sim::config::SystemConfig;
 use mcs_sim::fault::FaultPlan;
 use mcs_sim::stats::RunStats;
-use mcs_workloads::common::marker_latencies;
 use mcs_workloads::micro::seq_access;
 use mcs_workloads::CopyMech;
 use mcsquare::McSquareConfig;
@@ -47,7 +46,7 @@ fn fault_events(stats: &RunStats) -> u64 {
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let smoke = mcs_bench::smoke_flag();
     let size: u64 = if smoke { 16 << 10 } else { 256 << 10 };
     let severities: Vec<f64> =
         if smoke { vec![0.0, 1.0, 4.0] } else { vec![0.0, 0.1, 0.5, 1.0, 2.0, 4.0] };
@@ -90,7 +89,7 @@ fn main() {
             "mcsquare_fault_events",
         ],
     );
-    let lat = |i: usize| marker_latencies(&results[i].1.cores[0])[0];
+    let lat = |i: usize| marker0(&results[i].1);
     let (base_memcpy, base_mcs) = (lat(0), lat(1));
     for (si, &severity) in severities.iter().enumerate() {
         let (lb, lm) = (lat(si * 2), lat(si * 2 + 1));
@@ -106,4 +105,5 @@ fn main() {
         ]);
     }
     t.emit();
+    mcs_bench::print_sim_throughput();
 }

@@ -117,4 +117,5 @@ fn main() {
         fig4.row(vec![mcs_bench::fmt_size(size), f3(dist.cdf_at(size))]);
     }
     fig4.emit();
+    mcs_bench::print_sim_throughput();
 }

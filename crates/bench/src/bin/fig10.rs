@@ -6,35 +6,21 @@
 //! 4 MB; touched memcpy is fastest at small sizes, and (MC)² approaches it
 //! from 16 KB up.
 
-use mcs_bench::{f3, fmt_size, ns, timed_run, Job, Table};
-use mcs_sim::alloc::AddrSpace;
-use mcs_sim::config::SystemConfig;
-use mcs_workloads::micro::copy_latency;
-use mcs_workloads::CopyMech;
-use mcsquare::McSquareConfig;
+use mcs_bench::figs::{fig10_job, fig10_mechs, fig10_row, FIG10_SIZES};
+use mcs_bench::{marker0, Table};
 
 fn main() {
-    let sizes: Vec<u64> =
-        vec![64, 256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20];
-    let mechs: Vec<(&str, CopyMech, bool)> = vec![
-        ("memcpy", CopyMech::Native, false),
-        ("zio", CopyMech::Zio, false),
-        ("touched_memcpy", CopyMech::Native, true),
-        ("mcsquare", CopyMech::McSquare { threshold: 0 }, false),
-    ];
-
+    let mechs = fig10_mechs();
     let points: Vec<(usize, u64)> = mechs
         .iter()
         .enumerate()
-        .flat_map(|(mi, _)| sizes.iter().map(move |&s| (mi, s)))
+        .flat_map(|(mi, _)| FIG10_SIZES.iter().map(move |&s| (mi, s)))
         .collect();
 
+    let mechs_ref = &mechs;
     let results = mcs_bench::par_run(points, |&(mi, size)| {
-        let (_, mech, touch) = &mechs[mi];
-        let mut space = AddrSpace::dram_3gb();
-        let g = copy_latency(mech.clone(), size, *touch, &mut space);
-        let mc2 = mech.needs_engine().then(McSquareConfig::default);
-        Job::single(SystemConfig::table1_one_core(), mc2, g.uops, g.pokes)
+        let (_, mech, touch) = &mechs_ref[mi];
+        fig10_job(mech, size, *touch)
     });
 
     let mut table = Table::new(
@@ -42,15 +28,12 @@ fn main() {
         "copy latency (ns) for native memcpy, zIO, touched memcpy and (MC)^2",
         &["size", "memcpy_ns", "zio_ns", "touched_ns", "mcsquare_ns"],
     );
-    for (si, &size) in sizes.iter().enumerate() {
-        let mut row = vec![fmt_size(size)];
-        for mi in 0..mechs.len() {
-            let (_, stats) = &results[mi * sizes.len() + si];
-            let lat = mcs_workloads::common::marker_latencies(&stats.cores[0])[0];
-            row.push(f3(ns(lat)));
-        }
-        table.row(row);
+    for (si, &size) in FIG10_SIZES.iter().enumerate() {
+        let lats: Vec<u64> = (0..mechs.len())
+            .map(|mi| marker0(&results[mi * FIG10_SIZES.len() + si].1))
+            .collect();
+        table.row(fig10_row(size, &lats));
     }
     table.emit();
-    let _ = timed_run; // alternative single-run entry point
+    mcs_bench::print_sim_throughput();
 }

@@ -5,10 +5,9 @@
 //! component matters; above 1 KB the CLWBs exhaust the writeback slots and
 //! serialise, dominating the overhead at large sizes.
 
-use mcs_bench::{f3, fmt_size, Job, Table};
+use mcs_bench::{marker0, f3, fmt_size, Job, Table};
 use mcs_sim::alloc::AddrSpace;
 use mcs_sim::config::SystemConfig;
-use mcs_workloads::common::marker_latencies;
 use mcs_workloads::micro::lazy_overhead_parts;
 use mcsquare::McSquareConfig;
 
@@ -37,8 +36,8 @@ fn main() {
         &["size", "writeback_cycles", "packet_cycles", "writeback_frac", "packet_frac"],
     );
     for (i, &size) in sizes.iter().enumerate() {
-        let wb = marker_latencies(&results[2 * i].1.cores[0])[0];
-        let pk = marker_latencies(&results[2 * i + 1].1.cores[0])[0];
+        let wb = marker0(&results[2 * i].1);
+        let pk = marker0(&results[2 * i + 1].1);
         let total = (wb + pk) as f64;
         table.row(vec![
             fmt_size(size),
@@ -49,4 +48,5 @@ fn main() {
         ]);
     }
     table.emit();
+    mcs_bench::print_sim_throughput();
 }

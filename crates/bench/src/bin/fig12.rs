@@ -8,65 +8,17 @@
 //! stream; disabling prefetch degrades it past the baseline (~1.2×); zIO
 //! wins only when almost nothing is accessed and loses past ~50%.
 
-use mcs_bench::{f3, Job, Table};
-use mcs_sim::alloc::AddrSpace;
-use mcs_sim::config::SystemConfig;
-use mcs_workloads::common::marker_latencies;
-use mcs_workloads::micro::seq_access;
-use mcs_workloads::CopyMech;
-use mcsquare::McSquareConfig;
-
-const SIZE: u64 = 4 << 20;
-
-#[derive(Clone)]
-struct Variant {
-    name: &'static str,
-    mech: CopyMech,
-    misalign: bool,
-    prefetch: bool,
-}
+use mcs_bench::figs::{fig12_job, fig12_row, fig12_variants, FIG12_FRACS};
+use mcs_bench::{marker0, Table};
 
 fn main() {
-    let variants = vec![
-        Variant { name: "memcpy", mech: CopyMech::Native, misalign: true, prefetch: true },
-        Variant { name: "zio", mech: CopyMech::Zio, misalign: true, prefetch: true },
-        Variant {
-            name: "mcsquare",
-            mech: CopyMech::McSquare { threshold: 0 },
-            misalign: true,
-            prefetch: true,
-        },
-        Variant {
-            name: "mcsquare_aligned",
-            mech: CopyMech::McSquare { threshold: 0 },
-            misalign: false,
-            prefetch: true,
-        },
-        Variant {
-            name: "mcsquare_nopf",
-            mech: CopyMech::McSquare { threshold: 0 },
-            misalign: true,
-            prefetch: false,
-        },
-    ];
-    let fracs = [0.0, 0.25, 0.5, 0.75, 1.0];
-
+    let variants = fig12_variants();
     let points: Vec<(usize, f64)> = (0..variants.len())
-        .flat_map(|v| fracs.iter().map(move |&f| (v, f)))
+        .flat_map(|v| FIG12_FRACS.iter().map(move |&f| (v, f)))
         .collect();
     let variants_ref = &variants;
-    let results = mcs_bench::par_run(points, |&(vi, frac)| {
-        let v = &variants_ref[vi];
-        let mut space = AddrSpace::dram_3gb();
-        let g = seq_access(v.mech.clone(), SIZE, frac, v.misalign, &mut space);
-        let mut cfg = SystemConfig::table1_one_core();
-        if !v.prefetch {
-            cfg.l1.prefetch = false;
-            cfg.llc.prefetch = false;
-        }
-        let mc2 = v.mech.needs_engine().then(McSquareConfig::default);
-        Job::single(cfg, mc2, g.uops, g.pokes)
-    });
+    let results =
+        mcs_bench::par_run(points, |&(vi, frac)| fig12_job(&variants_ref[vi], frac));
 
     let mut headers: Vec<String> = vec!["fraction".into()];
     headers.extend(variants.iter().map(|v| format!("{}_norm", v.name)));
@@ -75,14 +27,12 @@ fn main() {
         "sequential destination access: runtime normalised to native memcpy (4MB copy)",
         &headers.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
     );
-    for (fi, &frac) in fracs.iter().enumerate() {
-        let base = marker_latencies(&results[fi].1.cores[0])[0] as f64;
-        let mut row = vec![format!("{:.0}%", frac * 100.0)];
-        for vi in 0..variants.len() {
-            let t = marker_latencies(&results[vi * fracs.len() + fi].1.cores[0])[0] as f64;
-            row.push(f3(t / base));
-        }
-        table.row(row);
+    for (fi, &frac) in FIG12_FRACS.iter().enumerate() {
+        let lats: Vec<u64> = (0..variants.len())
+            .map(|vi| marker0(&results[vi * FIG12_FRACS.len() + fi].1))
+            .collect();
+        table.row(fig12_row(frac, &lats));
     }
     table.emit();
+    mcs_bench::print_sim_throughput();
 }

@@ -7,10 +7,9 @@
 //! ~1.6×; zIO spikes to ~2.1× at small fractions (fault per page) and
 //! recovers toward 1.3×.
 
-use mcs_bench::{f3, Job, Table};
+use mcs_bench::{marker0, f3, Job, Table};
 use mcs_sim::alloc::AddrSpace;
 use mcs_sim::config::SystemConfig;
-use mcs_workloads::common::marker_latencies;
 use mcs_workloads::micro::PointerChaseProgram;
 use mcs_workloads::CopyMech;
 use mcsquare::McSquareConfig;
@@ -82,13 +81,14 @@ fn main() {
         &headers.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
     );
     for (fi, &frac) in fracs.iter().enumerate() {
-        let base = marker_latencies(&results[fi].1.cores[0])[0] as f64;
+        let base = marker0(&results[fi].1) as f64;
         let mut row = vec![format!("{:.1}%", frac * 100.0)];
         for vi in 0..vs.len() {
-            let t = marker_latencies(&results[vi * fracs.len() + fi].1.cores[0])[0] as f64;
+            let t = marker0(&results[vi * fracs.len() + fi].1) as f64;
             row.push(f3(t / base));
         }
         table.row(row);
     }
     table.emit();
+    mcs_bench::print_sim_throughput();
 }

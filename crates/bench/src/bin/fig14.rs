@@ -4,10 +4,9 @@
 //! Paper shape: (MC)² gives a ~43% speedup; zIO elides nothing because
 //! every copy is sub-page.
 
-use mcs_bench::{f3, ms, Job, Table};
+use mcs_bench::{marker0, f3, ms, Job, Table};
 use mcs_sim::alloc::AddrSpace;
 use mcs_sim::config::SystemConfig;
-use mcs_workloads::common::marker_latencies;
 use mcs_workloads::protobuf::{protobuf_program, ProtobufConfig};
 use mcs_workloads::CopyMech;
 use mcsquare::McSquareConfig;
@@ -30,14 +29,14 @@ fn main() {
         Job::single(SystemConfig::table1_one_core(), mc2, uops, pokes)
     });
 
-    let base = marker_latencies(&results[0].1.cores[0])[0];
+    let base = marker0(&results[0].1);
     let mut table = Table::new(
         "fig14",
         "Protobuf workload runtime (ms) and speedup over baseline",
         &["mechanism", "runtime_ms", "speedup"],
     );
     for (mi, (name, _)) in mechs.iter().enumerate() {
-        let t = marker_latencies(&results[mi].1.cores[0])[0];
+        let t = marker0(&results[mi].1);
         table.row(vec![
             name.to_string(),
             f3(ms(t)),
@@ -45,4 +44,5 @@ fn main() {
         ]);
     }
     table.emit();
+    mcs_bench::print_sim_throughput();
 }

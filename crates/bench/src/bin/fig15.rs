@@ -63,4 +63,5 @@ fn main() {
         ]);
     }
     table.emit();
+    mcs_bench::print_sim_throughput();
 }

@@ -6,26 +6,13 @@
 //! up at high fractions; with 8 threads the run is bandwidth-bound and
 //! (MC)²'s reduced traffic wins everywhere below 100%.
 
-use mcs_bench::{f3, Job, Table};
+use mcs_bench::{f3, throughput_kops, Job, Table};
 use mcs_sim::alloc::AddrSpace;
 use mcs_sim::config::SystemConfig;
 use mcs_sim::program::{FixedProgram, Program};
-use mcs_workloads::common::marker_latencies;
 use mcs_workloads::mvcc::{mvcc_multithread, MvccConfig, UpdateKind};
 use mcs_workloads::CopyMech;
 use mcsquare::McSquareConfig;
-
-fn throughput_kops(stats: &mcs_sim::stats::RunStats, txns_per_core: usize, cores: usize) -> f64 {
-    // kOps/s at 4 GHz: txns / (cycles / 4e9) / 1e3.
-    let cycles = stats
-        .cores
-        .iter()
-        .take(cores)
-        .map(|c| marker_latencies(c).first().copied().unwrap_or(0))
-        .max()
-        .unwrap_or(stats.cycles);
-    (txns_per_core * cores) as f64 / (cycles as f64 / 4.0e9) / 1e3
-}
 
 fn main() {
     let fracs = [0.0625, 0.125, 0.25, 0.5, 1.0];
@@ -85,4 +72,5 @@ fn main() {
         ]);
     }
     table.emit();
+    mcs_bench::print_sim_throughput();
 }

@@ -5,25 +5,13 @@
 //! read-for-ownership; with non-temporal stores (no RFO) (MC)² beats the
 //! baseline at every fraction with 1 thread, and until 100% with 8.
 
-use mcs_bench::{f3, Job, Table};
+use mcs_bench::{f3, throughput_kops, Job, Table};
 use mcs_sim::alloc::AddrSpace;
 use mcs_sim::config::SystemConfig;
 use mcs_sim::program::{FixedProgram, Program};
-use mcs_workloads::common::marker_latencies;
 use mcs_workloads::mvcc::{mvcc_multithread, MvccConfig, UpdateKind};
 use mcs_workloads::CopyMech;
 use mcsquare::McSquareConfig;
-
-fn throughput_kops(stats: &mcs_sim::stats::RunStats, txns_per_core: usize, cores: usize) -> f64 {
-    let cycles = stats
-        .cores
-        .iter()
-        .take(cores)
-        .map(|c| marker_latencies(c).first().copied().unwrap_or(0))
-        .max()
-        .unwrap_or(stats.cycles);
-    (txns_per_core * cores) as f64 / (cycles as f64 / 4.0e9) / 1e3
-}
 
 fn main() {
     let fracs = [0.0625, 0.125, 0.25, 0.5, 1.0];
@@ -78,4 +66,5 @@ fn main() {
         table.row(vec![t.to_string(), format!("{:.2}%", f * 100.0), f3(b), f3(m), f3(nt)]);
     }
     table.emit();
+    mcs_bench::print_sim_throughput();
 }

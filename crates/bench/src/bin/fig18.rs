@@ -59,4 +59,5 @@ fn main() {
         "# (MC)^2 worst case is {:.0}x lower than native worst case",
         ns.max as f64 / ls.max as f64
     );
+    mcs_bench::print_sim_throughput();
 }

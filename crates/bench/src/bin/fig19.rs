@@ -5,11 +5,10 @@
 //! are close; as transfers grow, (MC)² approaches ~2× the native
 //! throughput (it skips both the user→kernel and kernel→user data moves).
 
-use mcs_bench::{f3, Job, Table};
+use mcs_bench::{marker0, f3, Job, Table};
 use mcs_os::CopyMode;
 use mcs_sim::alloc::AddrSpace;
 use mcs_sim::config::SystemConfig;
-use mcs_workloads::common::marker_latencies;
 use mcs_workloads::pipe::{pipe_program, throughput_bytes_per_kcycle, PipeConfig};
 use mcsquare::McSquareConfig;
 
@@ -37,11 +36,12 @@ fn main() {
     );
     for (i, &size) in sizes.iter().enumerate() {
         let bytes = size * 24;
-        let tn = marker_latencies(&results[2 * i].1.cores[0])[0];
-        let tl = marker_latencies(&results[2 * i + 1].1.cores[0])[0];
+        let tn = marker0(&results[2 * i].1);
+        let tl = marker0(&results[2 * i + 1].1);
         let n = throughput_bytes_per_kcycle(bytes, tn);
         let l = throughput_bytes_per_kcycle(bytes, tl);
         table.row(vec![mcs_bench::fmt_size(size), f3(n), f3(l), f3(l / n)]);
     }
     table.emit();
+    mcs_bench::print_sim_throughput();
 }

@@ -8,10 +8,9 @@
 //! (the stall mechanism and its shape are the reproduction target —
 //! recorded in EXPERIMENTS.md).
 
-use mcs_bench::{f3, ms, Job, Table};
+use mcs_bench::{marker0, f3, ms, Job, Table};
 use mcs_sim::alloc::AddrSpace;
 use mcs_sim::config::SystemConfig;
-use mcs_workloads::common::marker_latencies;
 use mcs_workloads::protobuf::{protobuf_program, ProtobufConfig};
 use mcs_workloads::CopyMech;
 use mcsquare::McSquareConfig;
@@ -53,7 +52,7 @@ fn main() {
         .max(1);
     for (i, &(e, t)) in points.iter().enumerate() {
         let stats = &results[i].1;
-        let rt = marker_latencies(&stats.cores[0])[0];
+        let rt = marker0(stats);
         let stalls = stats.engine_counter("ctt_full_retries");
         table.row(vec![
             e.to_string(),
@@ -64,4 +63,5 @@ fn main() {
         ]);
     }
     table.emit();
+    mcs_bench::print_sim_throughput();
 }

@@ -5,10 +5,9 @@
 //! ~35% faster; returns diminish — 16 entries gain only ~2% over 8
 //! (Table I picks 8).
 
-use mcs_bench::{f3, fmt_size, Job, Table};
+use mcs_bench::{marker0, f3, fmt_size, Job, Table};
 use mcs_sim::alloc::AddrSpace;
 use mcs_sim::config::SystemConfig;
-use mcs_workloads::common::marker_latencies;
 use mcs_workloads::micro::src_write_stress;
 use mcsquare::McSquareConfig;
 
@@ -35,13 +34,14 @@ fn main() {
         &["buffer", "bpq1", "bpq2", "bpq4", "bpq8", "bpq16"],
     );
     for (si, &size) in sizes.iter().enumerate() {
-        let base = marker_latencies(&results[si * bpqs.len()].1.cores[0])[0] as f64;
+        let base = marker0(&results[si * bpqs.len()].1) as f64;
         let mut row = vec![fmt_size(size)];
         for bi in 0..bpqs.len() {
-            let t = marker_latencies(&results[si * bpqs.len() + bi].1.cores[0])[0] as f64;
+            let t = marker0(&results[si * bpqs.len() + bi].1) as f64;
             row.push(f3(t / base));
         }
         table.row(row);
     }
     table.emit();
+    mcs_bench::print_sim_throughput();
 }

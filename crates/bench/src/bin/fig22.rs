@@ -92,4 +92,5 @@ fn main() {
         table.row(row);
     }
     table.emit();
+    mcs_bench::print_sim_throughput();
 }

@@ -7,11 +7,10 @@
 //! `results/sweep_memtech_fig12.tsv`. Pass `--smoke` for a seconds-long CI
 //! variant (small sizes, all three backends, same code paths).
 
-use mcs_bench::{f3, fmt_size, ns, Job, Table};
+use mcs_bench::{f3, fmt_size, marker0, ns, smoke_flag, Job, Table};
 use mcs_sim::alloc::AddrSpace;
 use mcs_sim::config::{MemTech, SystemConfig};
 use mcs_sim::stats::RunStats;
-use mcs_workloads::common::marker_latencies;
 use mcs_workloads::micro::{copy_latency, seq_access};
 use mcs_workloads::CopyMech;
 use mcsquare::McSquareConfig;
@@ -37,16 +36,12 @@ fn cfg_of(p: &Point) -> SystemConfig {
     cfg
 }
 
-fn marker0(stats: &RunStats) -> u64 {
-    marker_latencies(&stats.cores[0])[0]
-}
-
 fn refreshes(stats: &RunStats) -> u64 {
     stats.mcs.iter().map(|m| m.refreshes).sum()
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let smoke = smoke_flag();
     let sizes: Vec<u64> = if smoke {
         vec![1 << 10, 4 << 10]
     } else {
@@ -131,4 +126,5 @@ fn main() {
         }
     }
     t12.emit();
+    mcs_bench::print_sim_throughput();
 }

@@ -28,4 +28,5 @@ fn main() {
     kv("Drain threshold", format!("{:.0}%", m.drain_threshold * 100.0));
     kv("WPQ writeback-reject watermark", format!("{:.0}%", m.wpq_reject_frac * 100.0));
     t.emit();
+    mcs_bench::print_sim_throughput();
 }

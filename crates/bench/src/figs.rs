@@ -1,0 +1,103 @@
+//! Shared construction of the Fig. 10 and Fig. 12 sweeps.
+//!
+//! The figure binaries and the trace-off byte-identity regression test
+//! (`tests/trace_identity.rs`) must agree exactly on how each point is
+//! simulated and how each row is formatted — any drift would make the
+//! test compare different experiments. Both therefore build jobs and rows
+//! through this module.
+
+use crate::{f3, fmt_size, ns, Job};
+use mcs_sim::alloc::AddrSpace;
+use mcs_sim::config::SystemConfig;
+use mcs_workloads::micro::{copy_latency, seq_access};
+use mcs_workloads::CopyMech;
+use mcsquare::McSquareConfig;
+
+/// Copy sizes of the Fig. 10 sweep.
+pub const FIG10_SIZES: [u64; 9] =
+    [64, 256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20];
+
+/// The four Fig. 10 mechanisms: (column name, mechanism, touch-first).
+pub fn fig10_mechs() -> Vec<(&'static str, CopyMech, bool)> {
+    vec![
+        ("memcpy", CopyMech::Native, false),
+        ("zio", CopyMech::Zio, false),
+        ("touched_memcpy", CopyMech::Native, true),
+        ("mcsquare", CopyMech::McSquare { threshold: 0 }, false),
+    ]
+}
+
+/// Build the Fig. 10 job for one (mechanism, size) point.
+pub fn fig10_job(mech: &CopyMech, size: u64, touch: bool) -> Job {
+    let mut space = AddrSpace::dram_3gb();
+    let g = copy_latency(mech.clone(), size, touch, &mut space);
+    let mc2 = mech.needs_engine().then(McSquareConfig::default);
+    Job::single(SystemConfig::table1_one_core(), mc2, g.uops, g.pokes)
+}
+
+/// Format one Fig. 10 row from the four mechanisms' copy latencies (in
+/// cycles, ordered as [`fig10_mechs`]).
+pub fn fig10_row(size: u64, lats: &[u64]) -> Vec<String> {
+    let mut row = vec![fmt_size(size)];
+    row.extend(lats.iter().map(|&l| f3(ns(l))));
+    row
+}
+
+/// One series of the Fig. 12 sweep.
+#[derive(Clone)]
+pub struct Fig12Variant {
+    /// Column name (suffixed `_norm` in the table header).
+    pub name: &'static str,
+    /// Copy mechanism.
+    pub mech: CopyMech,
+    /// Offset the source by 20 bytes (two bounces per destination line).
+    pub misalign: bool,
+    /// Leave the prefetchers on.
+    pub prefetch: bool,
+}
+
+/// Copy size of the Fig. 12 experiment (must exceed the LLC).
+pub const FIG12_SIZE: u64 = 4 << 20;
+
+/// Destination fractions of the Fig. 12 sweep.
+pub const FIG12_FRACS: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 1.0];
+
+/// The five Fig. 12 series. The first (native memcpy) is the
+/// normalisation baseline.
+pub fn fig12_variants() -> Vec<Fig12Variant> {
+    let mc2 = CopyMech::McSquare { threshold: 0 };
+    vec![
+        Fig12Variant { name: "memcpy", mech: CopyMech::Native, misalign: true, prefetch: true },
+        Fig12Variant { name: "zio", mech: CopyMech::Zio, misalign: true, prefetch: true },
+        Fig12Variant { name: "mcsquare", mech: mc2.clone(), misalign: true, prefetch: true },
+        Fig12Variant {
+            name: "mcsquare_aligned",
+            mech: mc2.clone(),
+            misalign: false,
+            prefetch: true,
+        },
+        Fig12Variant { name: "mcsquare_nopf", mech: mc2, misalign: true, prefetch: false },
+    ]
+}
+
+/// Build the Fig. 12 job for one (variant, fraction) point.
+pub fn fig12_job(v: &Fig12Variant, frac: f64) -> Job {
+    let mut space = AddrSpace::dram_3gb();
+    let g = seq_access(v.mech.clone(), FIG12_SIZE, frac, v.misalign, &mut space);
+    let mut cfg = SystemConfig::table1_one_core();
+    if !v.prefetch {
+        cfg.l1.prefetch = false;
+        cfg.llc.prefetch = false;
+    }
+    let mc2 = v.mech.needs_engine().then(McSquareConfig::default);
+    Job::single(cfg, mc2, g.uops, g.pokes)
+}
+
+/// Format one Fig. 12 row from the variants' runtimes (in cycles, ordered
+/// as [`fig12_variants`]; `lats[0]` is the baseline).
+pub fn fig12_row(frac: f64, lats: &[u64]) -> Vec<String> {
+    let base = lats[0] as f64;
+    let mut row = vec![format!("{:.0}%", frac * 100.0)];
+    row.extend(lats.iter().map(|&l| f3(l as f64 / base)));
+    row
+}

@@ -14,6 +14,11 @@ use mcs_sim::Cycle;
 use mcs_workloads::Pokes;
 use mcsquare::{McSquareConfig, McSquareEngine};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+pub mod figs;
 
 /// CPU frequency of the Table I machine (cycles per nanosecond).
 pub const CYCLES_PER_NS: f64 = 4.0;
@@ -66,6 +71,7 @@ impl Job {
     /// Panics if the simulation exceeds the cycle budget (a bug, not a
     /// measurement).
     pub fn run(mut self) -> RunStats {
+        let _ = wall_start();
         let mut cfg = self.cfg;
         while self.programs.len() < cfg.cores {
             self.programs.push(Box::new(mcs_sim::program::IdleProgram));
@@ -82,11 +88,71 @@ impl Job {
             None => System::new(cfg, self.programs),
         };
         self.pokes.apply(&mut sys);
-        match sys.run(self.max_cycles) {
+        #[cfg(feature = "trace")]
+        let trace_to = mcs_sim::config::trace_env();
+        #[cfg(feature = "trace")]
+        if trace_to.is_some() {
+            mcs_trace::arm(mcs_trace::TraceConfig::default());
+        }
+        let stats = match sys.run(self.max_cycles) {
             Ok(stats) => stats,
             Err(e) => panic!("simulation stuck: {e}\n{}", sys.debug_dump()),
+        };
+        SIM_CYCLES.fetch_add(stats.cycles, Ordering::Relaxed);
+        #[cfg(feature = "trace")]
+        if let Some(base) = trace_to {
+            if let Some(sink) = mcs_trace::take() {
+                write_trace_outputs(&base, &sink);
+            }
         }
+        stats
     }
+}
+
+/// Cumulative simulated cycles across every [`Job::run`] of this process.
+static SIM_CYCLES: AtomicU64 = AtomicU64::new(0);
+
+fn wall_start() -> &'static Instant {
+    static WALL_START: OnceLock<Instant> = OnceLock::new();
+    WALL_START.get_or_init(Instant::now)
+}
+
+/// Print the simulator's throughput — simulated cycles per wall-clock
+/// second since the first job started — to stderr (so TSV output on
+/// stdout stays clean). Every figure binary calls this as its last step.
+pub fn print_sim_throughput() {
+    let cycles = SIM_CYCLES.load(Ordering::Relaxed);
+    let wall = wall_start().elapsed().as_secs_f64();
+    if cycles == 0 || wall <= 0.0 {
+        return;
+    }
+    eprintln!(
+        "# simulated {:.3} Gcycles in {:.1} s wall ({:.1} Mcycles/s)",
+        cycles as f64 / 1e9,
+        wall,
+        cycles as f64 / wall / 1e6,
+    );
+}
+
+/// Write the armed trace sink's three consumer outputs next to `base`
+/// (the `MCS_TRACE` path): a Perfetto-loadable Chrome trace, the
+/// epoch-sampled time series, and the per-class latency histograms. Each
+/// job of a sweep gets its own numbered file set.
+#[cfg(feature = "trace")]
+fn write_trace_outputs(base: &str, sink: &mcs_trace::TraceSink) {
+    static JOB_SEQ: AtomicU64 = AtomicU64::new(0);
+    let stem = format!("{base}.job{}", JOB_SEQ.fetch_add(1, Ordering::Relaxed));
+    let _ = std::fs::write(
+        format!("{stem}.trace.json"),
+        mcs_trace::chrome::to_chrome_json(sink, CYCLES_PER_NS),
+    );
+    let _ = std::fs::write(format!("{stem}.series.tsv"), sink.series.to_tsv(CYCLES_PER_NS));
+    let _ = std::fs::write(format!("{stem}.hist.tsv"), sink.hists.to_tsv());
+    eprintln!(
+        "# trace: wrote {stem}.{{trace.json,series.tsv,hist.tsv}} ({} events buffered, {} dropped)",
+        sink.ring.len(),
+        sink.ring.dropped(),
+    );
 }
 
 /// Run the marker-0/1-bracketed section of a single-core job and return
@@ -184,6 +250,41 @@ impl Table {
             let _ = std::fs::write(dir.join(format!("{}.tsv", self.name)), &text);
         }
     }
+}
+
+/// Marker-0 latency of core 0: the bracketed section every single-core
+/// figure measures.
+///
+/// # Panics
+/// Panics if core 0 recorded no marker pair.
+pub fn marker0(stats: &RunStats) -> u64 {
+    mcs_workloads::common::marker_latencies(&stats.cores[0])[0]
+}
+
+/// Elapsed cycles of a multi-core run: the slowest of the first `cores`
+/// cores' bracketed sections, falling back to the total run length when
+/// no core recorded markers.
+pub fn elapsed_cycles(stats: &RunStats, cores: usize) -> u64 {
+    stats
+        .cores
+        .iter()
+        .take(cores)
+        .map(|c| mcs_workloads::common::marker_latencies(c).first().copied().unwrap_or(0))
+        .max()
+        .filter(|&m| m > 0)
+        .unwrap_or(stats.cycles)
+}
+
+/// Transaction throughput in kOps/s at the Table I clock, over the
+/// slowest core's bracketed section (Figs. 16–17).
+pub fn throughput_kops(stats: &RunStats, txns_per_core: usize, cores: usize) -> f64 {
+    let cycles = elapsed_cycles(stats, cores);
+    (txns_per_core * cores) as f64 / (cycles as f64 / (CYCLES_PER_NS * 1e9)) / 1e3
+}
+
+/// Whether `--smoke` was passed: the seconds-long CI variant of a sweep.
+pub fn smoke_flag() -> bool {
+    std::env::args().any(|a| a == "--smoke")
 }
 
 /// Format a byte size the way the figures label their axes.

@@ -1,0 +1,73 @@
+//! Byte-identity regression: with the `trace` feature off (the default
+//! test build), re-simulating Fig. 10 / Fig. 12 points through the shared
+//! [`mcs_bench::figs`] constructors must reproduce the committed
+//! `results/*.tsv` rows *byte for byte*. This is the acceptance criterion
+//! for the observability layer being zero-cost when disabled: if any
+//! instrumentation leaks timing into the trace-off build, these rows
+//! drift and the comparison fails.
+//!
+//! (When built `--features trace` with `MCS_TRACE` unset, the same
+//! comparison proves the armed-capable build is also timing-identical.)
+
+use mcs_bench::figs::{
+    fig10_job, fig10_mechs, fig10_row, fig12_job, fig12_row, fig12_variants,
+};
+use mcs_bench::marker0;
+
+/// Read one data row (by first-column key) out of a committed TSV.
+fn committed_row(file: &str, key: &str) -> String {
+    let path = format!("{}/../../results/{}", env!("CARGO_MANIFEST_DIR"), file);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read {path}: {e}"));
+    text.lines()
+        .find(|l| l.split('\t').next() == Some(key))
+        .unwrap_or_else(|| panic!("no row keyed {key:?} in {file}"))
+        .to_string()
+}
+
+/// Force refresh and fault injection off regardless of `MCS_REFRESH` /
+/// `MCS_FAULTS`, matching the clean environment the committed TSVs were
+/// generated under.
+fn neutralize(job: &mut mcs_bench::Job) {
+    job.cfg.dram.t_refi = 0;
+    job.cfg.fault = mcs_sim::fault::FaultPlan::none();
+}
+
+#[test]
+fn fig10_rows_byte_identical_to_committed_tsv() {
+    for size in [1u64 << 10, 64 << 10] {
+        let lats: Vec<u64> = fig10_mechs()
+            .iter()
+            .map(|(_, mech, touch)| {
+                let mut job = fig10_job(mech, size, *touch);
+                neutralize(&mut job);
+                marker0(&job.run())
+            })
+            .collect();
+        let row = fig10_row(size, &lats).join("\t");
+        assert_eq!(
+            row,
+            committed_row("fig10.tsv", row.split('\t').next().unwrap()),
+            "fig10 row for size {size} drifted from the committed TSV"
+        );
+    }
+}
+
+#[test]
+fn fig12_row_byte_identical_to_committed_tsv() {
+    let frac = 0.0;
+    let lats: Vec<u64> = fig12_variants()
+        .iter()
+        .map(|v| {
+            let mut job = fig12_job(v, frac);
+            neutralize(&mut job);
+            marker0(&job.run())
+        })
+        .collect();
+    let row = fig12_row(frac, &lats).join("\t");
+    assert_eq!(
+        row,
+        committed_row("fig12.tsv", "0%"),
+        "fig12 0% row drifted from the committed TSV"
+    );
+}

@@ -151,6 +151,11 @@ pub struct McSquareEngine {
     /// Injected engine faults (`None` ⇔ empty plan: zero-cost hooks).
     fault: Option<EngineFault>,
     mutation: ChaosMutation,
+    /// Current cycle, cached at the trait entry points so private
+    /// methods can timestamp trace events without threading `now`
+    /// through every call.
+    #[cfg(feature = "trace")]
+    now: Cycle,
     /// BPQ entries `(mcid, line)` that were releasable at the previous
     /// `validate` call. `bpq_release_tick` runs every cycle, so an entry
     /// still releasable a full validation period later is stuck.
@@ -175,6 +180,8 @@ impl McSquareEngine {
             n: Counters::default(),
             fault: None,
             mutation: ChaosMutation::None,
+            #[cfg(feature = "trace")]
+            now: 0,
             #[cfg(feature = "check-invariants")]
             releasable_memo: std::collections::HashSet::new(),
         }
@@ -286,6 +293,17 @@ impl McSquareEngine {
             ReconCause::SrcFlush => self.n.recon_src_flush += 1,
             ReconCause::Drain => self.n.recon_drain += 1,
         }
+        #[cfg(feature = "trace")]
+        mcs_trace::emit(mcs_trace::Event::ReconStart {
+            mc: mcid as u16,
+            line: line.0,
+            cause: match cause {
+                ReconCause::Demand => "demand",
+                ReconCause::SrcFlush => "src_flush",
+                ReconCause::Drain => "drain",
+            },
+            at: self.now,
+        });
 
         // Plan sub-fragments: tracked bytes come from their sources
         // (splitting at source-line boundaries — the two-bounce case for
@@ -344,6 +362,12 @@ impl McSquareEngine {
                 io.dram_read(tag, src_line);
             } else {
                 self.n.bounces_sent += 1;
+                #[cfg(feature = "trace")]
+                mcs_trace::emit(mcs_trace::Event::Bounce {
+                    mc: mcid as u16,
+                    src_mc: src_mc as u16,
+                    at: self.now,
+                });
                 let info = BounceInfo { reply_to: mcid, token: line.0, src, len, dest_off };
                 let pkt = Packet {
                     id: mcs_sim::packet::fresh_id(),
@@ -402,6 +426,12 @@ impl McSquareEngine {
         let pinned = std::mem::take(&mut r.pinned);
         let (cause, superseded, force_write, mcid) =
             (r.cause, r.superseded, r.force_write, r.mcid);
+        #[cfg(feature = "trace")]
+        mcs_trace::emit(mcs_trace::Event::ReconEnd {
+            mc: mcid as u16,
+            line: line.0,
+            at: self.now,
+        });
         for l in pinned {
             self.unpin(l);
         }
@@ -474,8 +504,27 @@ impl McSquareEngine {
             self.n.bpq_full_retries += 1;
             return Verdict::Retry(pkt);
         }
+        #[cfg(feature = "trace")]
+        let collapses_pre = self.ctt.stats.chain_collapses;
         match self.ctt.try_insert(desc.dst, desc.src, desc.size) {
             Ok(()) => {
+                #[cfg(feature = "trace")]
+                {
+                    mcs_trace::emit(mcs_trace::Event::CttInsert {
+                        mc: mcid as u16,
+                        dst: desc.dst.0,
+                        lines: mcs_sim::addr::lines_of(desc.dst, desc.size).count() as u32,
+                        at: self.now,
+                    });
+                    let collapsed = self.ctt.stats.chain_collapses - collapses_pre;
+                    if collapsed > 0 {
+                        mcs_trace::emit(mcs_trace::Event::CttCollapse {
+                            mc: mcid as u16,
+                            n: collapsed as u32,
+                            at: self.now,
+                        });
+                    }
+                }
                 // Destination lines being reconstructed are redefined.
                 for l in mcs_sim::addr::lines_of(desc.dst, desc.size) {
                     if let Some(r) = self.recons.get_mut(&l.0) {
@@ -501,11 +550,19 @@ impl McSquareEngine {
             }
             Err(CttError::Full) => {
                 self.n.ctt_full_retries += 1;
+                #[cfg(feature = "trace")]
+                mcs_trace::emit(mcs_trace::Event::CttFull { mc: mcid as u16, at: self.now });
                 Verdict::Retry(pkt)
             }
             Err(CttError::NeedsFlush(lines)) => {
                 // Copy out the dependent destinations, then retry.
                 self.n.flush_retries += 1;
+                #[cfg(feature = "trace")]
+                mcs_trace::emit(mcs_trace::Event::CttFlush {
+                    mc: mcid as u16,
+                    lines: lines.len() as u32,
+                    at: self.now,
+                });
                 for l in lines {
                     if self.ctt.covers_dst(l, CACHELINE) {
                         self.start_recon(mcid, l, ReconCause::SrcFlush, None, io);
@@ -521,6 +578,12 @@ impl McSquareEngine {
         // Reads of BPQ-held source lines are serviced from the queue.
         if let Some(d) = self.bpqs[mcid].get(line) {
             self.n.reads_from_bpq += 1;
+            #[cfg(feature = "trace")]
+            mcs_trace::emit(mcs_trace::Event::BpqHit {
+                mc: mcid as u16,
+                line: line.0,
+                at: self.now,
+            });
             let data = *d;
             io.send(pkt.make_read_resp(data));
             return Verdict::Consumed;
@@ -736,6 +799,14 @@ impl McSquareEngine {
         let ready = self.bpqs[mcid].take_ready(|line| {
             !pins.contains_key(&line.0) && ctt.src_overlapping(line, CACHELINE).is_empty()
         });
+        #[cfg(feature = "trace")]
+        if !ready.is_empty() {
+            mcs_trace::emit(mcs_trace::Event::BpqDrain {
+                mc: mcid as u16,
+                lines: ready.len() as u32,
+                at: self.now,
+            });
+        }
         for e in ready {
             io.dram_write(e.line, e.data);
         }
@@ -744,6 +815,10 @@ impl McSquareEngine {
 
 impl CopyEngine for McSquareEngine {
     fn on_arrive(&mut self, _now: Cycle, mcid: usize, pkt: Packet, io: &mut EngineIo) -> Verdict {
+        #[cfg(feature = "trace")]
+        {
+            self.now = _now;
+        }
         match pkt.cmd {
             MemCmd::Mclazy(desc) => self.on_mclazy(mcid, pkt.clone(), desc, io),
             MemCmd::Mcfree(FreeDesc { addr, size }) => {
@@ -783,6 +858,10 @@ impl CopyEngine for McSquareEngine {
         poisoned: bool,
         io: &mut EngineIo,
     ) {
+        #[cfg(feature = "trace")]
+        {
+            self.now = _now;
+        }
         match self.tags.remove(&tag).expect("unknown engine tag") {
             TagKind::Frag { dest_line, dest_off, len, src_off } => {
                 let bytes = data.read(src_off as usize, len as usize).to_vec();
@@ -810,6 +889,10 @@ impl CopyEngine for McSquareEngine {
     }
 
     fn tick(&mut self, _now: Cycle, mcid: usize, io: &mut EngineIo) {
+        #[cfg(feature = "trace")]
+        {
+            self.now = _now;
+        }
         self.bpq_release_tick(mcid, io);
         self.drain_tick(mcid, io);
     }

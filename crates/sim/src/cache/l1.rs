@@ -63,6 +63,10 @@ pub struct L1 {
     array: CacheArray<L1Line>,
     mshrs: HashMap<u64, Mshr>,
     pf: StridePrefetcher,
+    /// Cycle each in-flight miss was allocated, for miss-lifecycle spans.
+    /// Purely observational; see DESIGN.md, "Observability layer".
+    #[cfg(feature = "trace")]
+    miss_start: HashMap<u64, Cycle>,
     /// Statistics.
     pub stats: CacheStats,
 }
@@ -72,7 +76,16 @@ impl L1 {
     pub fn new(id: usize, cfg: CacheConfig) -> L1 {
         let sets = cfg.sets();
         let pf = StridePrefetcher::new(cfg.prefetch, cfg.prefetch_degree);
-        L1 { id, cfg: cfg.clone(), array: CacheArray::new(sets, cfg.ways), mshrs: HashMap::new(), pf, stats: CacheStats::default() }
+        L1 {
+            id,
+            cfg: cfg.clone(),
+            array: CacheArray::new(sets, cfg.ways),
+            mshrs: HashMap::new(),
+            pf,
+            #[cfg(feature = "trace")]
+            miss_start: HashMap::new(),
+            stats: CacheStats::default(),
+        }
     }
 
     /// Hit latency in cycles.
@@ -107,14 +120,15 @@ impl L1 {
     /// Handle a core request. Returns `false` (without consuming) if the
     /// request cannot be accepted this cycle (MSHRs full); the caller
     /// retries later.
-    pub fn handle_core(&mut self, _now: Cycle, msg: &CoreToL1, out: &mut L1Out) -> bool {
+    pub fn handle_core(&mut self, now: Cycle, msg: &CoreToL1, out: &mut L1Out) -> bool {
+        let _ = now; // stamp for the trace hooks below
         match msg {
-            CoreToL1::Load { id, addr, size } => self.load(*id, *addr, *size as usize, out),
+            CoreToL1::Load { id, addr, size } => self.load(now, *id, *addr, *size as usize, out),
             CoreToL1::Store { id, addr, data, nontemporal } => {
                 if *nontemporal {
                     self.nt_store(*id, *addr, data, out)
                 } else {
-                    self.store(*id, *addr, data.clone(), out)
+                    self.store(now, *id, *addr, data.clone(), out)
                 }
             }
             CoreToL1::Clwb { id, addr } => {
@@ -140,7 +154,8 @@ impl L1 {
         }
     }
 
-    fn load(&mut self, id: UopId, addr: PhysAddr, size: usize, out: &mut L1Out) -> bool {
+    fn load(&mut self, now: Cycle, id: UopId, addr: PhysAddr, size: usize, out: &mut L1Out) -> bool {
+        let _ = now;
         let line = addr.line_base();
         let off = addr.line_off() as usize;
         if let Some(l) = self.array.get_mut(line) {
@@ -170,6 +185,8 @@ impl L1 {
             return false;
         }
         self.stats.misses += 1;
+        #[cfg(feature = "trace")]
+        self.miss_start.insert(line.0, now);
         self.mshrs.insert(
             line.0,
             Mshr {
@@ -180,11 +197,12 @@ impl L1 {
             },
         );
         out.to_llc.push(L1ToLlc::GetS { line, core: self.id, prefetch: false });
-        self.issue_prefetches(line, out);
+        self.issue_prefetches(now, line, out);
         true
     }
 
-    fn issue_prefetches(&mut self, line: PhysAddr, out: &mut L1Out) {
+    fn issue_prefetches(&mut self, now: Cycle, line: PhysAddr, out: &mut L1Out) {
+        let _ = now;
         for p in self.pf.observe(line) {
             if self.array.peek(p).is_some() || self.mshrs.contains_key(&p.0) {
                 continue;
@@ -192,6 +210,8 @@ impl L1 {
             if self.mshrs.len() >= self.cfg.mshrs {
                 break;
             }
+            #[cfg(feature = "trace")]
+            self.miss_start.insert(p.0, now);
             self.mshrs.insert(
                 p.0,
                 Mshr { want_m: false, upgrade_after: false, ops: Vec::new(), prefetch_only: true },
@@ -201,7 +221,8 @@ impl L1 {
         }
     }
 
-    fn store(&mut self, id: UopId, addr: PhysAddr, bytes: Vec<u8>, out: &mut L1Out) -> bool {
+    fn store(&mut self, now: Cycle, id: UopId, addr: PhysAddr, bytes: Vec<u8>, out: &mut L1Out) -> bool {
+        let _ = now;
         let line = addr.line_base();
         let off = addr.line_off() as usize;
         if let Some(l) = self.array.get_mut(line) {
@@ -229,6 +250,8 @@ impl L1 {
             return false;
         }
         self.stats.misses += 1;
+        #[cfg(feature = "trace")]
+        self.miss_start.insert(line.0, now);
         self.mshrs.insert(
             line.0,
             Mshr {
@@ -285,9 +308,12 @@ impl L1 {
     }
 
     /// Handle a message from the LLC.
-    pub fn handle_llc(&mut self, _now: Cycle, msg: LlcToL1, out: &mut L1Out) {
+    pub fn handle_llc(&mut self, now: Cycle, msg: LlcToL1, out: &mut L1Out) {
+        let _ = now; // stamp for the trace hooks below
         match msg {
-            LlcToL1::Data { line, data, excl, level } => self.fill(line, data, excl, level, out),
+            LlcToL1::Data { line, data, excl, level } => {
+                self.fill(now, line, data, excl, level, out)
+            }
             LlcToL1::Inval { line } => {
                 let data = match self.array.remove(line) {
                     Some(l) if l.modified && l.dirty => Some(l.data),
@@ -323,16 +349,20 @@ impl L1 {
 
     fn fill(
         &mut self,
+        now: Cycle,
         line: PhysAddr,
         data: LineData,
         excl: bool,
         level: ServiceLevel,
         out: &mut L1Out,
     ) {
+        let _ = now;
         let Some(mut m) = self.mshrs.remove(&line.0) else {
             // Response to a transaction we no longer track (e.g. the line
             // was invalidated by an MCLAZY snoop while the fill was in
             // flight). Drop it: re-reading will miss and refetch.
+            #[cfg(feature = "trace")]
+            self.miss_start.remove(&line.0);
             return;
         };
         if m.upgrade_after && !excl {
@@ -359,6 +389,17 @@ impl L1 {
             self.mshrs.insert(line.0, m);
             out.to_llc.push(L1ToLlc::GetM { line, core: self.id });
             return;
+        }
+
+        // The transaction completes below: emit its miss-lifecycle span.
+        #[cfg(feature = "trace")]
+        if let Some(start) = self.miss_start.remove(&line.0) {
+            mcs_trace::emit(mcs_trace::Event::L1Miss {
+                l1: self.id as u16,
+                line: line.0,
+                start,
+                end: now,
+            });
         }
 
         // Install the line (evicting if needed). An ownership upgrade

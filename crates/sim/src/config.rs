@@ -114,6 +114,15 @@ pub fn refresh_env() -> bool {
     matches!(std::env::var("MCS_REFRESH").as_deref(), Ok("1") | Ok("true"))
 }
 
+/// Output path requested by the `MCS_TRACE` environment variable, if any.
+/// When set (and the `trace` feature is compiled in), the bench harness
+/// arms event tracing around each job and writes `<path>.jobN.trace.json`
+/// plus companion series/histogram TSVs; see DESIGN.md, "Observability
+/// layer". Ignored (benignly) when the feature is off.
+pub fn trace_env() -> Option<String> {
+    std::env::var("MCS_TRACE").ok().filter(|s| !s.is_empty())
+}
+
 /// DRAM timing and geometry for one channel, expressed in CPU cycles.
 ///
 /// Defaults approximate DDR4-2400 at a 4 GHz CPU clock: tRCD = tRP = tCL ≈

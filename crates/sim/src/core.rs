@@ -104,6 +104,10 @@ pub struct Core {
     /// All work retired and drained.
     finished: bool,
     last_tag: StatTag,
+    /// Open stall span: (reason, start cycle). Purely observational; see
+    /// DESIGN.md, "Observability layer".
+    #[cfg(feature = "trace")]
+    cur_stall: Option<(StallReason, crate::Cycle)>,
     /// Statistics.
     pub stats: CoreStats,
 }
@@ -143,6 +147,8 @@ impl Core {
             program_done: false,
             finished: false,
             last_tag: StatTag::App,
+            #[cfg(feature = "trace")]
+            cur_stall: None,
             stats: CoreStats::default(),
         }
     }
@@ -715,7 +721,8 @@ impl Core {
         Ok(())
     }
 
-    fn account(&mut self, _now: Cycle, retired: usize, dispatch_stall: Option<StallReason>) {
+    fn account(&mut self, now: Cycle, retired: usize, dispatch_stall: Option<StallReason>) {
+        let _ = now; // stamp for the trace hook below
         self.stats.cycles += 1;
         let tag = self.rob.front().map(|e| e.tag).unwrap_or(self.last_tag);
         *self.stats.cycles_by_tag.entry(tag).or_insert(0) += 1;
@@ -726,6 +733,9 @@ impl Core {
             *self.stats.mem_busy_by_tag.entry(tag).or_insert(0) += 1;
         }
 
+        // This cycle's stall attribution (None ⇔ something retired or the
+        // machine was genuinely idle with nothing blocked).
+        let mut stalled: Option<StallReason> = None;
         if retired == 0 && !self.rob.is_empty() {
             let head = self.rob.front().expect("nonempty");
             let reason = match head.kind {
@@ -751,9 +761,30 @@ impl Core {
             if matches!(reason, StallReason::LoadMiss) {
                 *self.stats.mem_stall_by_tag.entry(tag).or_insert(0) += 1;
             }
+            stalled = Some(reason);
         } else if retired == 0 {
             if let Some(r) = dispatch_stall {
                 self.stats.bump_stall(r);
+                stalled = Some(r);
+            }
+        }
+        let _ = stalled;
+
+        // Trace hook: convert the per-cycle attribution into stall *spans*
+        // (one event per transition, not per cycle).
+        #[cfg(feature = "trace")]
+        match (self.cur_stall, stalled) {
+            (Some((r0, _)), Some(r)) if r0 == r => {}
+            (open, new) => {
+                if let Some((r0, start)) = open {
+                    mcs_trace::emit(mcs_trace::Event::CoreStall {
+                        core: self.id as u16,
+                        reason: r0.name(),
+                        start,
+                        end: now,
+                    });
+                }
+                self.cur_stall = new.map(|r| (r, now));
             }
         }
     }

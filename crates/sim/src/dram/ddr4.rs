@@ -109,6 +109,10 @@ impl DramModel for Ddr4Channel {
     fn refreshes(&self) -> u64 {
         self.refresh.count()
     }
+
+    fn bank_of(&self, addr: PhysAddr) -> usize {
+        self.bank_row(addr).0
+    }
 }
 
 #[cfg(test)]

@@ -130,6 +130,11 @@ impl DramModel for HbmChannel {
     fn bus_of(&self, addr: PhysAddr) -> usize {
         self.locate(addr).0
     }
+
+    fn bank_of(&self, addr: PhysAddr) -> usize {
+        let (pc, bank, _) = self.locate(addr);
+        pc * self.cfg.banks + bank
+    }
 }
 
 #[cfg(test)]

@@ -102,6 +102,13 @@ pub trait DramModel: std::fmt::Debug + Send {
     fn bus_of(&self, _addr: PhysAddr) -> usize {
         0
     }
+
+    /// Index of the bank servicing `addr`, for diagnostics and trace
+    /// lanes (pseudo-channelled backends flatten: pc * banks + bank).
+    /// Purely informational; scheduling goes through the readiness checks.
+    fn bank_of(&self, _addr: PhysAddr) -> usize {
+        0
+    }
 }
 
 /// Build the backend selected by `cfg.tech`; `channels` is the system-wide

@@ -36,6 +36,9 @@ struct WpqEntry {
     /// The data was derived from an uncorrectable ECC error: committing
     /// this write re-poisons the line instead of clearing it.
     poison: bool,
+    enq: Cycle,
+    #[cfg(feature = "trace")]
+    class: mcs_trace::PacketClass,
 }
 
 #[derive(Debug)]
@@ -43,6 +46,27 @@ struct Inflight {
     done: Cycle,
     addr: PhysAddr,
     kind: InflightKind,
+    /// Cycle the request entered its pending queue (service latency base).
+    enq: Cycle,
+}
+
+/// Traffic class of a read origin, for latency histograms.
+#[cfg(feature = "trace")]
+fn trace_class(origin: &ReadOrigin) -> mcs_trace::PacketClass {
+    match origin {
+        ReadOrigin::Llc(p) if p.is_prefetch => mcs_trace::PacketClass::PrefetchRead,
+        ReadOrigin::Llc(_) => mcs_trace::PacketClass::DemandRead,
+        ReadOrigin::Engine(_) => mcs_trace::PacketClass::EngineRead,
+    }
+}
+
+#[cfg(feature = "trace")]
+fn trace_row(outcome: RowOutcome) -> mcs_trace::RowKind {
+    match outcome {
+        RowOutcome::Hit => mcs_trace::RowKind::Hit,
+        RowOutcome::Empty => mcs_trace::RowKind::Empty,
+        RowOutcome::Conflict => mcs_trace::RowKind::Conflict,
+    }
 }
 
 #[derive(Debug)]
@@ -208,11 +232,30 @@ impl MemCtrl {
                 self.engine_fwd.push((tag, addr, w.data, w.poison));
                 continue;
             }
+            #[cfg(feature = "trace")]
+            mcs_trace::emit(mcs_trace::Event::McEnqueue {
+                mc: self.id as u16,
+                class: mcs_trace::PacketClass::EngineRead,
+                at: now,
+            });
             self.rpq.push_back(RpqEntry { addr, origin: ReadOrigin::Engine(tag), enq: now });
         }
         for (addr, data, poison) in io.dram_writes {
             self.stats.engine_writes += 1;
-            self.wpq.push_back(WpqEntry { addr, data, poison });
+            #[cfg(feature = "trace")]
+            mcs_trace::emit(mcs_trace::Event::McEnqueue {
+                mc: self.id as u16,
+                class: mcs_trace::PacketClass::EngineWrite,
+                at: now,
+            });
+            self.wpq.push_back(WpqEntry {
+                addr,
+                data,
+                poison,
+                enq: now,
+                #[cfg(feature = "trace")]
+                class: mcs_trace::PacketClass::EngineWrite,
+            });
         }
         for send in io.sends {
             out.push(send);
@@ -237,6 +280,18 @@ impl MemCtrl {
     ) {
         // Apply elapsed refresh windows before any readiness check.
         self.dram.sync(now);
+        #[cfg(feature = "trace")]
+        {
+            // stats.refreshes still holds last tick's cumulative count.
+            let r = self.dram.refreshes();
+            if r > self.stats.refreshes {
+                mcs_trace::emit(mcs_trace::Event::Refresh {
+                    mc: self.id as u16,
+                    n: (r - self.stats.refreshes) as u32,
+                    at: now,
+                });
+            }
+        }
         self.deliver_forwarded(now, engine, out);
         self.complete_inflight(now, engine, mem, out);
         self.engine_tick(now, engine, out);
@@ -283,8 +338,19 @@ impl MemCtrl {
                         if poisoned {
                             self.stats.poisoned_reads += 1;
                         }
+                        #[cfg(feature = "trace")]
+                        mcs_trace::emit(mcs_trace::Event::McComplete {
+                            mc: self.id as u16,
+                            class: trace_class(&origin),
+                            enq: f.enq,
+                            at: now,
+                        });
                         match origin {
                             ReadOrigin::Llc(req) => {
+                                if !req.is_prefetch {
+                                    self.stats.demand_read_lat_sum += now - f.enq;
+                                    self.stats.demand_reads_done += 1;
+                                }
                                 let mut resp = req.make_read_resp(data);
                                 resp.poisoned = poisoned;
                                 out.push((resp, 0));
@@ -417,6 +483,16 @@ impl MemCtrl {
                     out.push((resp, 0));
                     return;
                 }
+                #[cfg(feature = "trace")]
+                mcs_trace::emit(mcs_trace::Event::McEnqueue {
+                    mc: self.id as u16,
+                    class: if pkt.is_prefetch {
+                        mcs_trace::PacketClass::PrefetchRead
+                    } else {
+                        mcs_trace::PacketClass::DemandRead
+                    },
+                    at: now,
+                });
                 self.rpq.push_back(RpqEntry { addr: pkt.addr, origin: ReadOrigin::Llc(pkt), enq: now });
             }
             MemCmd::WriteReq | MemCmd::LazyDestWrite => {
@@ -433,7 +509,26 @@ impl MemCtrl {
                 if pkt.needs_ack {
                     out.push((pkt.make_write_ack(), 0));
                 }
-                self.wpq.push_back(WpqEntry { addr: pkt.addr, data, poison: pkt.poisoned });
+                #[cfg(feature = "trace")]
+                let class = if matches!(pkt.cmd, MemCmd::LazyDestWrite) {
+                    mcs_trace::PacketClass::EngineWrite
+                } else {
+                    mcs_trace::PacketClass::Write
+                };
+                #[cfg(feature = "trace")]
+                mcs_trace::emit(mcs_trace::Event::McEnqueue {
+                    mc: self.id as u16,
+                    class,
+                    at: now,
+                });
+                self.wpq.push_back(WpqEntry {
+                    addr: pkt.addr,
+                    data,
+                    poison: pkt.poisoned,
+                    enq: now,
+                    #[cfg(feature = "trace")]
+                    class,
+                });
             }
             _ => {
                 // Mclazy/Mcfree/Bounce* are engine commands; with an engine
@@ -531,8 +626,22 @@ impl MemCtrl {
                 }
             }
         }
-        let _ = e.enq;
-        self.inflight.push(Inflight { done, addr: e.addr, kind: InflightKind::Read(e.origin) });
+        #[cfg(feature = "trace")]
+        mcs_trace::emit(mcs_trace::Event::McIssue {
+            mc: self.id as u16,
+            bank: self.dram.bank_of(e.addr) as u16,
+            class: trace_class(&e.origin),
+            row: trace_row(outcome),
+            enq: e.enq,
+            at: now,
+            done,
+        });
+        self.inflight.push(Inflight {
+            done,
+            addr: e.addr,
+            kind: InflightKind::Read(e.origin),
+            enq: e.enq,
+        });
         true
     }
 
@@ -547,6 +656,16 @@ impl MemCtrl {
         let (done, outcome) = self.dram.access(now, e.addr);
         self.note_row(outcome);
         self.stats.writes += 1;
+        #[cfg(feature = "trace")]
+        mcs_trace::emit(mcs_trace::Event::McIssue {
+            mc: self.id as u16,
+            bank: self.dram.bank_of(e.addr) as u16,
+            class: e.class,
+            row: trace_row(outcome),
+            enq: e.enq,
+            at: now,
+            done,
+        });
         // Apply functionally at issue: any later read goes through the RPQ
         // behind this write's bank occupancy, and reads that raced ahead
         // were already served by WPQ forwarding.
@@ -560,7 +679,7 @@ impl MemCtrl {
                 f.poisoned.remove(&line);
             }
         }
-        self.inflight.push(Inflight { done, addr: e.addr, kind: InflightKind::Write });
+        self.inflight.push(Inflight { done, addr: e.addr, kind: InflightKind::Write, enq: e.enq });
         true
     }
 

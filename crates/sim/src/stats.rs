@@ -30,6 +30,21 @@ pub enum StallReason {
     Frontend,
 }
 
+impl StallReason {
+    /// Stable lowercase name, used in TSV output and trace lanes.
+    pub fn name(self) -> &'static str {
+        match self {
+            StallReason::LoadMiss => "load_miss",
+            StallReason::ClwbSlots => "clwb_slots",
+            StallReason::MclazySlots => "mclazy_slots",
+            StallReason::Fence => "fence",
+            StallReason::StoreBuffer => "store_buffer",
+            StallReason::RobFull => "rob_full",
+            StallReason::Frontend => "frontend",
+        }
+    }
+}
+
 /// Per-core statistics.
 #[derive(Clone, Default, Debug, Serialize, Deserialize)]
 pub struct CoreStats {
@@ -170,6 +185,13 @@ pub struct McStats {
     /// Malformed packets dropped (and reported via the audit log) instead
     /// of processed.
     pub malformed_packets: u64,
+    /// Sum of enqueue→completion latencies (cycles) over all DRAM-serviced
+    /// demand reads, and their count. WPQ-forwarded reads never reach DRAM
+    /// and are excluded. Together these give the mean loaded read latency
+    /// the LLC observes — the y-axis of a bandwidth–latency (Mess) curve.
+    pub demand_read_lat_sum: u64,
+    /// Number of DRAM-serviced demand reads behind `demand_read_lat_sum`.
+    pub demand_reads_done: u64,
 }
 
 impl McStats {

@@ -393,7 +393,43 @@ impl System {
             }
         }
 
+        #[cfg(feature = "trace")]
+        self.trace_sample(now);
+
         self.now += 1;
+    }
+
+    /// Push one interval sample per memory controller into the armed
+    /// trace sink when an epoch boundary has been reached. Observational
+    /// only: reads queue depths and cumulative counters, never sim state.
+    /// Idle skip-ahead lands on event cycles, so a jumped-over boundary is
+    /// sampled at the first tick after it (the sample carries its actual
+    /// cycle; intervals are differenced, not assumed uniform).
+    #[cfg(feature = "trace")]
+    fn trace_sample(&mut self, now: Cycle) {
+        let mcs = &self.mcs;
+        mcs_trace::with_sink(|sink| {
+            if !sink.series.due(now) {
+                return;
+            }
+            for mc in mcs.iter() {
+                let (rpq, wpq, inflight) = mc.queue_depths();
+                sink.series.push(mcs_trace::McSample {
+                    cycle: now,
+                    mc: mc.id as u16,
+                    rpq: rpq as u32,
+                    wpq: wpq as u32,
+                    inflight: inflight as u32,
+                    reads: mc.stats.reads,
+                    writes: mc.stats.writes,
+                    engine_accesses: mc.stats.engine_reads + mc.stats.engine_writes,
+                    row_hits: mc.stats.row_hits,
+                    row_misses: mc.stats.row_misses + mc.stats.row_conflicts,
+                    refreshes: mc.stats.refreshes,
+                });
+            }
+            sink.series.advance(now);
+        });
     }
 
     /// The MCLAZY broadcast snoop (§III-B1 step 2): write back every dirty

@@ -1,0 +1,143 @@
+//! The structured event vocabulary of the observability layer.
+//!
+//! Events are small `Copy` values stamped with simulator cycles. They are
+//! deliberately decoupled from the simulator's own types (no `mcs-sim`
+//! dependency): instrumentation sites translate into this vocabulary at the
+//! point of emission, so the trace crate stays leaf-level and the simulator
+//! only depends on it under the `trace` feature.
+
+/// Simulator time, in core clock cycles (mirrors `mcs_sim::Cycle`).
+pub type Cycle = u64;
+
+/// Classification of memory-controller traffic, the unit at which latency
+/// histograms are kept.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PacketClass {
+    /// Demand read from the LLC (a core miss).
+    DemandRead,
+    /// Prefetcher-initiated read.
+    PrefetchRead,
+    /// Read issued by the (MC)² engine (source fetch for reconstruction).
+    EngineRead,
+    /// Write drained from the write-pending queue.
+    Write,
+    /// Engine write (lazy destination materialisation).
+    EngineWrite,
+}
+
+impl PacketClass {
+    /// All classes, in display order.
+    pub const ALL: [PacketClass; 5] = [
+        PacketClass::DemandRead,
+        PacketClass::PrefetchRead,
+        PacketClass::EngineRead,
+        PacketClass::Write,
+        PacketClass::EngineWrite,
+    ];
+
+    /// Stable lowercase name used in TSV output and trace lanes.
+    pub fn name(self) -> &'static str {
+        match self {
+            PacketClass::DemandRead => "demand_read",
+            PacketClass::PrefetchRead => "prefetch_read",
+            PacketClass::EngineRead => "engine_read",
+            PacketClass::Write => "write",
+            PacketClass::EngineWrite => "engine_write",
+        }
+    }
+}
+
+/// Row-buffer outcome of a DRAM column access, as seen by the controller.
+///
+/// `Empty` implies an activate; `Conflict` implies a precharge followed by
+/// an activate — so these three values carry the bank activate/precharge
+/// activity of the run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RowKind {
+    /// Row already open: column access only.
+    Hit,
+    /// Bank idle: activate + column access.
+    Empty,
+    /// Different row open: precharge + activate + column access.
+    Conflict,
+}
+
+impl RowKind {
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RowKind::Hit => "hit",
+            RowKind::Empty => "empty",
+            RowKind::Conflict => "conflict",
+        }
+    }
+}
+
+/// One trace event. Span-like events carry `[start, end)` in cycles;
+/// instantaneous events carry a single `at` cycle.
+#[derive(Clone, Copy, Debug)]
+pub enum Event {
+    /// Core `core` was stalled on `reason` for `[start, end)`.
+    CoreStall { core: u16, reason: &'static str, start: Cycle, end: Cycle },
+    /// L1 `l1` missed on cache line `line` at `start`; the fill arrived at
+    /// `end`.
+    L1Miss { l1: u16, line: u64, start: Cycle, end: Cycle },
+    /// A packet of class `class` entered MC `mc`'s read/write queue.
+    McEnqueue { mc: u16, class: PacketClass, at: Cycle },
+    /// MC `mc` issued a DRAM access for a packet enqueued at `enq`: the
+    /// queue latency is `at - enq`, the bank/bus busy window is `[at, done)`.
+    McIssue {
+        mc: u16,
+        bank: u16,
+        class: PacketClass,
+        row: RowKind,
+        enq: Cycle,
+        at: Cycle,
+        done: Cycle,
+    },
+    /// A read completed back toward the LLC; service latency is `at - enq`.
+    McComplete { mc: u16, class: PacketClass, enq: Cycle, at: Cycle },
+    /// `n` refresh windows elapsed on channel `mc` by cycle `at`.
+    Refresh { mc: u16, n: u32, at: Cycle },
+    /// The engine accepted an MCLAZY descriptor into the CTT.
+    CttInsert { mc: u16, dst: u64, lines: u32, at: Cycle },
+    /// `n` chain collapses (dst-of-a-dst rewritten to the original source).
+    CttCollapse { mc: u16, n: u32, at: Cycle },
+    /// An MCLAZY overlapped tracked state; `lines` cached lines were flushed.
+    CttFlush { mc: u16, lines: u32, at: Cycle },
+    /// The CTT was full; the descriptor was NACKed for retry.
+    CttFull { mc: u16, at: Cycle },
+    /// A demand read was served out of the Bounce Pending Queue.
+    BpqHit { mc: u16, line: u64, at: Cycle },
+    /// Background drain wrote back `lines` lazily-pending lines.
+    BpqDrain { mc: u16, lines: u32, at: Cycle },
+    /// Lazy reconstruction of destination line `line` began (`cause` is one
+    /// of `demand`, `src_flush`, `drain`).
+    ReconStart { mc: u16, line: u64, cause: &'static str, at: Cycle },
+    /// Reconstruction of `line` finished.
+    ReconEnd { mc: u16, line: u64, at: Cycle },
+    /// A bounce read for a cross-channel source was sent from `mc`.
+    Bounce { mc: u16, src_mc: u16, at: Cycle },
+}
+
+impl Event {
+    /// The cycle this event is stamped with (start cycle for spans).
+    pub fn cycle(&self) -> Cycle {
+        match *self {
+            Event::CoreStall { start, .. } | Event::L1Miss { start, .. } => start,
+            Event::McEnqueue { at, .. }
+            | Event::McIssue { at, .. }
+            | Event::McComplete { at, .. }
+            | Event::Refresh { at, .. }
+            | Event::CttInsert { at, .. }
+            | Event::CttCollapse { at, .. }
+            | Event::CttFlush { at, .. }
+            | Event::CttFull { at, .. }
+            | Event::BpqHit { at, .. }
+            | Event::BpqDrain { at, .. }
+            | Event::ReconStart { at, .. }
+            | Event::ReconEnd { at, .. }
+            | Event::Bounce { at, .. } => at,
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Exact latency histograms.
+//!
+//! Latencies in this simulator are small integers (cycles), so a counting
+//! histogram over a `BTreeMap<u64, u64>` gives *exact* quantiles — no
+//! bucketing error — while staying O(distinct values) in memory. Quantiles
+//! use the nearest-rank definition: the p-th percentile of n samples is the
+//! k-th smallest with k = ceil(p/100 · n), which matches indexing a sorted
+//! vector at `k - 1` (the oracle the unit tests compare against).
+
+use std::collections::BTreeMap;
+
+/// Exact counting histogram over `u64` samples.
+#[derive(Debug, Clone, Default)]
+pub struct Hist {
+    counts: BTreeMap<u64, u64>,
+    n: u64,
+    sum: u64,
+}
+
+impl Hist {
+    /// Empty histogram.
+    pub fn new() -> Hist {
+        Hist::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        *self.counts.entry(v).or_insert(0) += 1;
+        self.n += 1;
+        self.sum += v;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Mean of all samples (0.0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.n as f64
+        }
+    }
+
+    /// Smallest sample (None if empty).
+    pub fn min(&self) -> Option<u64> {
+        self.counts.keys().next().copied()
+    }
+
+    /// Largest sample (None if empty).
+    pub fn max(&self) -> Option<u64> {
+        self.counts.keys().next_back().copied()
+    }
+
+    /// Exact nearest-rank percentile for `p` in (0, 100]. None if empty.
+    ///
+    /// Equivalent to `sorted[ceil(p/100 * n) - 1]` on the sorted sample
+    /// vector.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        if self.n == 0 {
+            return None;
+        }
+        let rank = ((p / 100.0) * self.n as f64).ceil().max(1.0) as u64;
+        let rank = rank.min(self.n);
+        let mut seen = 0u64;
+        for (&v, &c) in &self.counts {
+            seen += c;
+            if seen >= rank {
+                return Some(v);
+            }
+        }
+        self.max()
+    }
+
+    /// (p50, p95, p99) in one call; zeros if empty.
+    pub fn p50_p95_p99(&self) -> (u64, u64, u64) {
+        (
+            self.percentile(50.0).unwrap_or(0),
+            self.percentile(95.0).unwrap_or(0),
+            self.percentile(99.0).unwrap_or(0),
+        )
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &Hist) {
+        for (&v, &c) in &other.counts {
+            *self.counts.entry(v).or_insert(0) += c;
+        }
+        self.n += other.n;
+        self.sum += other.sum;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Sorted-vector oracle for the nearest-rank percentile.
+    fn oracle(samples: &[u64], p: f64) -> u64 {
+        let mut s = samples.to_vec();
+        s.sort_unstable();
+        let rank = ((p / 100.0) * s.len() as f64).ceil().max(1.0) as usize;
+        s[rank.min(s.len()) - 1]
+    }
+
+    #[test]
+    fn percentiles_match_sorted_vector_oracle() {
+        // A deliberately lumpy distribution: duplicates, gaps, a long tail.
+        let mut samples = Vec::new();
+        let mut x = 7u64;
+        for i in 0..1000u64 {
+            // LCG-ish deterministic pseudo-random values with repeats.
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let v = match i % 5 {
+                0 => 40,                  // heavy mode
+                1 => 40 + (x >> 60),      // near the mode
+                2 => 200 + (x >> 58),     // mid cluster
+                3 => 1_000 + (x >> 54),   // tail
+                _ => 41,
+            };
+            samples.push(v);
+        }
+        let mut h = Hist::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        for p in [1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 99.9, 100.0] {
+            assert_eq!(
+                h.percentile(p),
+                Some(oracle(&samples, p)),
+                "percentile {p} disagrees with sorted-vector oracle"
+            );
+        }
+    }
+
+    #[test]
+    fn percentiles_exact_on_small_sets() {
+        for n in 1..=20u64 {
+            let samples: Vec<u64> = (0..n).map(|i| i * 10).collect();
+            let mut h = Hist::new();
+            for &s in &samples {
+                h.record(s);
+            }
+            for p in [50.0, 95.0, 99.0] {
+                assert_eq!(h.percentile(p), Some(oracle(&samples, p)), "n={n} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = Hist::new();
+        assert_eq!(h.percentile(50.0), None);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.p50_p95_p99(), (0, 0, 0));
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let mut h = Hist::new();
+        h.record(42);
+        for p in [1.0, 50.0, 95.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(p), Some(42));
+        }
+        assert_eq!(h.min(), Some(42));
+        assert_eq!(h.max(), Some(42));
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_in_one() {
+        let (a_samples, b_samples): (Vec<u64>, Vec<u64>) =
+            ((0..50).map(|i| i * 3 % 17).collect(), (0..80).map(|i| i * 7 % 23).collect());
+        let mut a = Hist::new();
+        let mut b = Hist::new();
+        let mut whole = Hist::new();
+        for &s in &a_samples {
+            a.record(s);
+            whole.record(s);
+        }
+        for &s in &b_samples {
+            b.record(s);
+            whole.record(s);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.mean(), whole.mean());
+        for p in [10.0, 50.0, 95.0, 99.0] {
+            assert_eq!(a.percentile(p), whole.percentile(p));
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! # mcs-trace — cycle-level telemetry for the (MC)² simulator
+//!
+//! A structured event layer that is *zero-cost when off*: the simulator
+//! crates only reference this crate under their `trace` cargo feature
+//! (mirroring `check-invariants`), and even with the feature compiled in,
+//! nothing is recorded until a sink is armed for the current thread.
+//!
+//! ## Architecture
+//!
+//! Instrumentation sites call [`emit`], which appends to a thread-local
+//! [`TraceSink`]. One simulated `System` runs entirely on one OS thread
+//! (the parallel sweep harness gives each job its own thread), so a
+//! thread-local sink cleanly scopes a trace to a single simulation without
+//! threading a collector handle through every component's `tick`
+//! signature — and without any cross-thread synchronisation on the hot
+//! path.
+//!
+//! Three consumers hang off the sink:
+//!
+//! * the raw event [`Ring`] (bounded, overwrite-oldest) feeding the
+//!   [`chrome`] exporter — open the emitted `.trace.json` in Perfetto or
+//!   `chrome://tracing`;
+//! * exact per-packet-class latency [`Hist`]ograms (queue and service
+//!   latency), updated online so ring overflow never skews quantiles;
+//! * an epoch-sampled interval [`Series`] (queue depths, bandwidth,
+//!   row-hit rate) rendered as TSV.
+//!
+//! ## Typical use
+//!
+//! ```
+//! use mcs_trace as trace;
+//! trace::arm(trace::TraceConfig::default());
+//! // ... run the simulation on this thread; instrumented components
+//! //     call trace::emit(..) and the system samples the series ...
+//! trace::emit(trace::Event::McEnqueue {
+//!     mc: 0,
+//!     class: trace::PacketClass::DemandRead,
+//!     at: 123,
+//! });
+//! let sink = trace::take().expect("armed above");
+//! let json = trace::chrome::to_chrome_json(&sink, 4.0);
+//! assert!(json.contains("traceEvents"));
+//! ```
+
+pub mod chrome;
+pub mod event;
+pub mod hist;
+pub mod ring;
+pub mod series;
+
+pub use event::{Cycle, Event, PacketClass, RowKind};
+pub use hist::Hist;
+pub use ring::Ring;
+pub use series::{McSample, Series};
+
+use std::cell::RefCell;
+
+/// Capture configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceConfig {
+    /// Raw-event ring capacity (events beyond this overwrite the oldest).
+    pub ring_capacity: usize,
+    /// Interval-series sampling period, cycles.
+    pub epoch: Cycle,
+}
+
+impl Default for TraceConfig {
+    fn default() -> TraceConfig {
+        TraceConfig { ring_capacity: 1 << 18, epoch: 10_000 }
+    }
+}
+
+/// Per-class latency histograms: queue latency (enqueue → DRAM issue) and
+/// service latency (enqueue → completion back at the LLC).
+#[derive(Debug, Clone, Default)]
+pub struct ClassHists {
+    queue: Vec<(PacketClass, Hist)>,
+    service: Vec<(PacketClass, Hist)>,
+}
+
+fn hist_for(v: &mut Vec<(PacketClass, Hist)>, class: PacketClass) -> &mut Hist {
+    if let Some(i) = v.iter().position(|(c, _)| *c == class) {
+        return &mut v[i].1;
+    }
+    v.push((class, Hist::new()));
+    &mut v.last_mut().unwrap().1
+}
+
+impl ClassHists {
+    /// Queue-latency histogram for `class`, if any samples were recorded.
+    pub fn queue(&self, class: PacketClass) -> Option<&Hist> {
+        self.queue.iter().find(|(c, _)| *c == class).map(|(_, h)| h)
+    }
+
+    /// Service-latency histogram for `class`, if any samples were recorded.
+    pub fn service(&self, class: PacketClass) -> Option<&Hist> {
+        self.service.iter().find(|(c, _)| *c == class).map(|(_, h)| h)
+    }
+
+    /// Render a TSV summary: one row per (class, kind) with count, mean,
+    /// and exact p50/p95/p99 in cycles.
+    pub fn to_tsv(&self) -> String {
+        let mut out =
+            String::from("class\tkind\tcount\tmean_cyc\tp50_cyc\tp95_cyc\tp99_cyc\tmax_cyc\n");
+        for (kind, set) in [("queue", &self.queue), ("service", &self.service)] {
+            for class in PacketClass::ALL {
+                if let Some(h) = set.iter().find(|(c, _)| *c == class).map(|(_, h)| h) {
+                    let (p50, p95, p99) = h.p50_p95_p99();
+                    out.push_str(&format!(
+                        "{}\t{}\t{}\t{:.1}\t{}\t{}\t{}\t{}\n",
+                        class.name(),
+                        kind,
+                        h.count(),
+                        h.mean(),
+                        p50,
+                        p95,
+                        p99,
+                        h.max().unwrap_or(0)
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Everything one traced run collects.
+#[derive(Debug, Clone)]
+pub struct TraceSink {
+    /// Capture configuration this sink was armed with.
+    pub config: TraceConfig,
+    /// Bounded raw-event window (chronological; see [`Ring::dropped`]).
+    pub ring: Ring<Event>,
+    /// Online per-class latency histograms.
+    pub hists: ClassHists,
+    /// Epoch-sampled interval series.
+    pub series: Series,
+}
+
+impl TraceSink {
+    /// Fresh sink.
+    pub fn new(config: TraceConfig) -> TraceSink {
+        TraceSink {
+            config,
+            ring: Ring::new(config.ring_capacity),
+            hists: ClassHists::default(),
+            series: Series::new(config.epoch),
+        }
+    }
+
+    /// Record one event: push to the ring and update the online
+    /// histograms for latency-bearing events.
+    pub fn record(&mut self, ev: Event) {
+        match ev {
+            Event::McIssue { class, enq, at, .. } => {
+                hist_for(&mut self.hists.queue, class).record(at - enq);
+            }
+            Event::McComplete { class, enq, at, .. } => {
+                hist_for(&mut self.hists.service, class).record(at - enq);
+            }
+            _ => {}
+        }
+        self.ring.push(ev);
+    }
+}
+
+thread_local! {
+    static SINK: RefCell<Option<Box<TraceSink>>> = const { RefCell::new(None) };
+}
+
+/// Arm tracing on the current thread with `config`, replacing (and
+/// discarding) any previously armed sink.
+pub fn arm(config: TraceConfig) {
+    SINK.with(|s| *s.borrow_mut() = Some(Box::new(TraceSink::new(config))));
+}
+
+/// Is a sink armed on this thread?
+pub fn armed() -> bool {
+    SINK.with(|s| s.borrow().is_some())
+}
+
+/// Record an event on the current thread's sink; no-op when disarmed.
+pub fn emit(ev: Event) {
+    SINK.with(|s| {
+        if let Some(sink) = s.borrow_mut().as_mut() {
+            sink.record(ev);
+        }
+    });
+}
+
+/// Run `f` against the armed sink (e.g. to push series samples); returns
+/// `None` when disarmed.
+pub fn with_sink<R>(f: impl FnOnce(&mut TraceSink) -> R) -> Option<R> {
+    SINK.with(|s| s.borrow_mut().as_mut().map(|sink| f(sink)))
+}
+
+/// Disarm and return the sink collected on this thread.
+pub fn take() -> Option<Box<TraceSink>> {
+    SINK.with(|s| s.borrow_mut().take())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_emit_is_a_no_op() {
+        let _ = take();
+        emit(Event::CttFull { mc: 0, at: 1 });
+        assert!(!armed());
+        assert!(take().is_none());
+    }
+
+    #[test]
+    fn arm_emit_take_roundtrip() {
+        arm(TraceConfig { ring_capacity: 16, epoch: 100 });
+        assert!(armed());
+        emit(Event::McEnqueue { mc: 1, class: PacketClass::Write, at: 5 });
+        emit(Event::McIssue {
+            mc: 1,
+            bank: 0,
+            class: PacketClass::Write,
+            row: RowKind::Hit,
+            enq: 5,
+            at: 9,
+            done: 13,
+        });
+        let sink = take().expect("sink armed");
+        assert!(!armed());
+        assert_eq!(sink.ring.len(), 2);
+        let h = sink.hists.queue(PacketClass::Write).expect("write hist");
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.percentile(50.0), Some(4));
+    }
+
+    #[test]
+    fn histograms_survive_ring_overflow() {
+        arm(TraceConfig { ring_capacity: 2, epoch: 100 });
+        for i in 0..50u64 {
+            emit(Event::McIssue {
+                mc: 0,
+                bank: 0,
+                class: PacketClass::DemandRead,
+                row: RowKind::Hit,
+                enq: i,
+                at: i + 7,
+                done: i + 20,
+            });
+        }
+        let sink = take().unwrap();
+        assert_eq!(sink.ring.len(), 2);
+        assert_eq!(sink.ring.dropped(), 48);
+        // The histogram saw all 50 samples even though the ring kept 2.
+        let h = sink.hists.queue(PacketClass::DemandRead).unwrap();
+        assert_eq!(h.count(), 50);
+        assert_eq!(h.percentile(99.0), Some(7));
+    }
+
+    #[test]
+    fn class_hists_tsv_lists_recorded_classes() {
+        let mut sink = TraceSink::new(TraceConfig::default());
+        sink.record(Event::McIssue {
+            mc: 0,
+            bank: 1,
+            class: PacketClass::EngineRead,
+            row: RowKind::Empty,
+            enq: 0,
+            at: 30,
+            done: 60,
+        });
+        sink.record(Event::McComplete {
+            mc: 0,
+            class: PacketClass::EngineRead,
+            enq: 0,
+            at: 90,
+        });
+        let tsv = sink.hists.to_tsv();
+        assert!(tsv.contains("engine_read\tqueue\t1"));
+        assert!(tsv.contains("engine_read\tservice\t1"));
+        assert!(!tsv.contains("demand_read"), "no demand samples recorded: {tsv}");
+    }
+}

@@ -1,0 +1,112 @@
+//! Fixed-capacity ring buffer for event capture.
+//!
+//! Tracing must never grow without bound inside a multi-billion-cycle run,
+//! so raw events land in a ring that overwrites its oldest entry once full
+//! and counts what it dropped. The online consumers (histograms, interval
+//! series) aggregate at emission time and are unaffected by ring overflow;
+//! only the raw-event exporter (Chrome trace) sees a bounded window.
+
+/// Overwrite-oldest ring buffer with a drop counter.
+#[derive(Debug, Clone)]
+pub struct Ring<T> {
+    buf: Vec<T>,
+    cap: usize,
+    /// Index of the oldest element (valid when `buf.len() == cap`).
+    start: usize,
+    dropped: u64,
+}
+
+impl<T> Ring<T> {
+    /// Create a ring holding at most `cap` elements (`cap >= 1`).
+    pub fn new(cap: usize) -> Ring<T> {
+        Ring { buf: Vec::new(), cap: cap.max(1), start: 0, dropped: 0 }
+    }
+
+    /// Append, overwriting the oldest element if full.
+    pub fn push(&mut self, v: T) {
+        if self.buf.len() < self.cap {
+            self.buf.push(v);
+        } else {
+            self.buf[self.start] = v;
+            self.start = (self.start + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    /// Number of elements currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// How many elements were overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterate oldest → newest.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        let (tail, head) = self.buf.split_at(self.start);
+        head.iter().chain(tail.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_then_wraps_overwriting_oldest() {
+        let mut r = Ring::new(4);
+        for i in 0..4 {
+            r.push(i);
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.dropped(), 0);
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+
+        r.push(4); // overwrites 0
+        r.push(5); // overwrites 1
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.dropped(), 2);
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn wraps_many_times_and_stays_chronological() {
+        let mut r = Ring::new(3);
+        for i in 0..100 {
+            r.push(i);
+        }
+        assert_eq!(r.dropped(), 97);
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![97, 98, 99]);
+    }
+
+    #[test]
+    fn capacity_one_keeps_newest() {
+        let mut r = Ring::new(1);
+        r.push("a");
+        r.push("b");
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec!["b"]);
+        assert_eq!(r.dropped(), 1);
+    }
+
+    #[test]
+    fn partial_fill_iterates_in_order() {
+        let mut r = Ring::new(8);
+        r.push(10);
+        r.push(20);
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![10, 20]);
+        assert!(!r.is_empty());
+        assert_eq!(r.capacity(), 8);
+    }
+}
