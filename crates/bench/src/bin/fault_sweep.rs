@@ -46,7 +46,7 @@ fn fault_events(stats: &RunStats) -> u64 {
 }
 
 fn main() {
-    let smoke = mcs_bench::smoke_flag();
+    let smoke = mcs_bench::BenchOpts::parse().smoke;
     let size: u64 = if smoke { 16 << 10 } else { 256 << 10 };
     let severities: Vec<f64> =
         if smoke { vec![0.0, 1.0, 4.0] } else { vec![0.0, 0.1, 0.5, 1.0, 2.0, 4.0] };

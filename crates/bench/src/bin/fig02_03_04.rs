@@ -28,6 +28,7 @@ fn copy_fraction(stats: &RunStats) -> f64 {
 }
 
 fn main() {
+    let _opts = mcs_bench::BenchOpts::parse();
     // --- Fig. 2: copy overhead per use case (baseline machines). ---
     let jobs: Vec<(&str, Job)> = vec![
         ("protobuf", {

@@ -10,6 +10,7 @@ use mcs_bench::figs::{fig10_job, fig10_mechs, fig10_row, FIG10_SIZES};
 use mcs_bench::{marker0, Table};
 
 fn main() {
+    let _opts = mcs_bench::BenchOpts::parse();
     let mechs = fig10_mechs();
     let points: Vec<(usize, u64)> = mechs
         .iter()

@@ -12,6 +12,7 @@ use mcs_workloads::micro::lazy_overhead_parts;
 use mcsquare::McSquareConfig;
 
 fn main() {
+    let _opts = mcs_bench::BenchOpts::parse();
     let sizes: Vec<u64> =
         vec![64, 256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20];
 

@@ -12,6 +12,7 @@ use mcs_bench::figs::{fig12_job, fig12_row, fig12_variants, FIG12_FRACS};
 use mcs_bench::{marker0, Table};
 
 fn main() {
+    let _opts = mcs_bench::BenchOpts::parse();
     let variants = fig12_variants();
     let points: Vec<(usize, f64)> = (0..variants.len())
         .flat_map(|v| FIG12_FRACS.iter().map(move |&f| (v, f)))

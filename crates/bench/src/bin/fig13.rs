@@ -25,6 +25,7 @@ struct Variant {
 }
 
 fn main() {
+    let _opts = mcs_bench::BenchOpts::parse();
     let variants = vec![
         Variant { name: "memcpy", mech: CopyMech::Native, misalign: true, writeback: true },
         Variant { name: "zio", mech: CopyMech::Zio, misalign: true, writeback: true },

@@ -12,6 +12,7 @@ use mcs_workloads::CopyMech;
 use mcsquare::McSquareConfig;
 
 fn main() {
+    let _opts = mcs_bench::BenchOpts::parse();
     let wcfg = ProtobufConfig { messages: 96, fields: 8, ..ProtobufConfig::default() };
     let mechs: Vec<(&str, CopyMech)> = vec![
         ("baseline", CopyMech::Native),

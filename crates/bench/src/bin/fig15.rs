@@ -16,6 +16,7 @@ use mcs_workloads::CopyMech;
 use mcsquare::McSquareConfig;
 
 fn main() {
+    let _opts = mcs_bench::BenchOpts::parse();
     // Paper: 10 × 100 KB fields, 50 inserts. We run 10 × 96 KB fields and
     // 4 inserts (time-scaled; the copy-then-access pattern is preserved).
     let wcfg = MongoConfig {

@@ -15,6 +15,7 @@ use mcs_workloads::CopyMech;
 use mcsquare::McSquareConfig;
 
 fn main() {
+    let _opts = mcs_bench::BenchOpts::parse();
     let fracs = [0.0625, 0.125, 0.25, 0.5, 1.0];
     let threads = [1usize, 8];
     let base = MvccConfig {

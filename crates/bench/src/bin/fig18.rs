@@ -16,6 +16,7 @@ use mcs_workloads::cow::{cow_program, CowConfig};
 use mcsquare::McSquareConfig;
 
 fn main() {
+    let _opts = mcs_bench::BenchOpts::parse();
     let region = 64 * 1024 * 1024;
     let updates = 100;
 

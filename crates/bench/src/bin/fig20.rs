@@ -16,6 +16,7 @@ use mcs_workloads::CopyMech;
 use mcsquare::McSquareConfig;
 
 fn main() {
+    let _opts = mcs_bench::BenchOpts::parse();
     let entries = [32usize, 64, 128, 256];
     let thresholds = [0.25f64, 0.5, 0.75, 0.9];
     // No MCFREE hints here: like the paper's run, prospective copies live

@@ -12,6 +12,7 @@ use mcs_workloads::micro::src_write_stress;
 use mcsquare::McSquareConfig;
 
 fn main() {
+    let _opts = mcs_bench::BenchOpts::parse();
     let sizes: Vec<u64> = vec![16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20];
     let bpqs = [1usize, 2, 4, 8, 16];
 

@@ -26,6 +26,7 @@ fn elapsed(stats: &mcs_sim::stats::RunStats, cores: usize) -> u64 {
 }
 
 fn main() {
+    let _opts = mcs_bench::BenchOpts::parse();
     let threads = [1usize, 2, 4, 8];
     let frees = [1usize, 2, 4, 8];
     // A CTT small relative to the copy burst so freeing throughput matters

@@ -1,307 +1,22 @@
 //! Bandwidth–latency ("Mess"-style) curves per memory technology.
 //!
-//! A probe core runs a dependent pointer chase through a DRAM-resident
-//! buffer — one load in flight at a time, so its per-step latency is the
-//! *loaded* memory latency. Background cores inject copy traffic at a
-//! controlled rate: each chases its own pacer pointer chain (one
-//! dependent miss in flight) and emits a burst of `burst` copy line
-//! operations per chase step, so the injected bandwidth scales with the
-//! burst size — from near-idle (`burst = 0`) to past saturation. The
-//! copies run either as native memcpy (64 B load + store per line) or
-//! through (MC)² (MCLAZY, then reads of the lazy destination, driving
-//! the engine's reconstruction path). Plotting probe latency against
-//! achieved bandwidth gives the memory system's bandwidth–latency
-//! curves, with the knee where the controller queues saturate.
-//!
-//! Emits `results/mess_curves.tsv`. Pass `--smoke` for a seconds-long CI
-//! variant (same code paths, smaller buffers and ladder). With the
-//! `trace` feature and `MCS_TRACE=<path>` set, each job additionally
-//! writes a Chrome trace, a queue-depth time series, and latency
-//! histograms.
+//! All workload construction lives in [`mcs_bench::mess`] (shared with
+//! the `perf_smoke` throughput benchmark); this binary sweeps the full
+//! grid and emits `results/mess_curves.tsv`. Pass `--smoke` for a
+//! seconds-long CI variant (same code paths, smaller buffers and
+//! ladder). With the `trace` feature and `--trace=<path>`, each job
+//! additionally writes a Chrome trace, a queue-depth time series, and
+//! latency histograms.
 
-use mcs_bench::{f3, marker0, ns, smoke_flag, Job, Table, CYCLES_PER_NS};
-use mcs_sim::addr::{PhysAddr, CACHELINE};
-use mcs_sim::alloc::AddrSpace;
-use mcs_sim::config::{MemTech, SystemConfig};
-use mcs_sim::program::{Fetch, Program};
-use mcs_sim::stats::RunStats;
-use mcs_sim::uop::{StatTag, StoreData, Uop, UopId, UopKind};
-use mcs_workloads::Pokes;
-use mcsquare::McSquareConfig;
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-
-/// Build a pointer-chase chain over `bytes` at `buf`: each 64 B line's
-/// first 8 bytes hold the absolute address of the next line in a
-/// Fisher–Yates-shuffled single cycle. Returns the first address.
-fn chase_chain(buf: PhysAddr, bytes: u64, seed: u64, pokes: &mut Pokes) -> u64 {
-    let lines = (bytes / CACHELINE) as usize;
-    let mut order: Vec<usize> = (0..lines).collect();
-    let mut rng = seed | 1;
-    for i in (1..lines).rev() {
-        // xorshift64: deterministic, no external dependency.
-        rng ^= rng << 13;
-        rng ^= rng >> 7;
-        rng ^= rng << 17;
-        order.swap(i, (rng % (i as u64 + 1)) as usize);
-    }
-    let mut image = vec![0u8; bytes as usize];
-    for k in 0..lines {
-        let here = order[k] * CACHELINE as usize;
-        let next = buf.0 + (order[(k + 1) % lines] as u64) * CACHELINE;
-        image[here..here + 8].copy_from_slice(&next.to_le_bytes());
-    }
-    pokes.add(buf, image);
-    buf.0 + (order[0] as u64) * CACHELINE
-}
-
-/// Dependent pointer-chase probe: exactly one load in flight at a time,
-/// so the marker-bracketed span divided by the step count is the loaded
-/// round-trip latency. Sets `stop` when done so the background load
-/// generators wind down with it.
-struct ChaseProgram {
-    stop: Arc<AtomicBool>,
-    cur: u64,
-    steps_left: u64,
-    pending: Option<UopId>,
-    state: u8,
-}
-
-impl Program for ChaseProgram {
-    fn fetch(&mut self, next_id: UopId) -> Fetch {
-        match self.state {
-            0 => {
-                self.state = 1;
-                Fetch::Uop(Uop::new(UopKind::Marker { id: 0 }, StatTag::App))
-            }
-            1 => {
-                if self.pending.is_some() {
-                    return Fetch::Stall;
-                }
-                if self.steps_left == 0 {
-                    self.state = 2;
-                    self.stop.store(true, Ordering::Relaxed);
-                    return Fetch::Uop(Uop::new(UopKind::Marker { id: 1 }, StatTag::App));
-                }
-                self.steps_left -= 1;
-                self.pending = Some(next_id);
-                Fetch::Uop(Uop::new(
-                    UopKind::Load { addr: PhysAddr(self.cur), size: 8 },
-                    StatTag::App,
-                ))
-            }
-            _ => Fetch::Done,
-        }
-    }
-
-    fn on_load_complete(&mut self, id: UopId, data: &[u8]) {
-        if self.pending == Some(id) {
-            self.pending = None;
-            self.cur = u64::from_le_bytes(data[..8].try_into().expect("8B pointer load"));
-        }
-    }
-}
-
-/// Paced background copy traffic. Each round dispatches one dependent
-/// pacer-chase load plus a burst of `burst` copy line operations, then
-/// stalls until the pacer load returns: the injected rate is
-/// `burst` line-ops per memory round trip, so the burst size is the load
-/// knob. Copy passes rotate over a pool of (src, dst) buffer pairs and
-/// loop until the probe raises `stop`.
-struct PacedCopyProgram {
-    stop: Arc<AtomicBool>,
-    lazy: bool,
-    pairs: Vec<(u64, u64)>,
-    lines: u64,
-    burst: u32,
-    pair: usize,
-    line: u64,
-    pacer_cur: u64,
-    pending: Option<UopId>,
-    queue: VecDeque<Uop>,
-}
-
-impl PacedCopyProgram {
-    fn refill_burst(&mut self) {
-        for _ in 0..self.burst {
-            let (src, dst) = self.pairs[self.pair];
-            if self.lazy && self.line == 0 {
-                self.queue.push_back(Uop::new(
-                    UopKind::Mclazy {
-                        dst: PhysAddr(dst),
-                        src: PhysAddr(src),
-                        size: self.lines * CACHELINE,
-                    },
-                    StatTag::Memcpy,
-                ));
-            }
-            let off = self.line * CACHELINE;
-            if self.lazy {
-                self.queue.push_back(Uop::new(
-                    UopKind::Load { addr: PhysAddr(dst + off), size: 8 },
-                    StatTag::App,
-                ));
-            } else {
-                self.queue.push_back(Uop::new(
-                    UopKind::Load { addr: PhysAddr(src + off), size: 64 },
-                    StatTag::Memcpy,
-                ));
-                self.queue.push_back(Uop::new(
-                    UopKind::Store {
-                        addr: PhysAddr(dst + off),
-                        size: 64,
-                        data: StoreData::Splat(0xab),
-                        nontemporal: false,
-                    },
-                    StatTag::Memcpy,
-                ));
-            }
-            self.line += 1;
-            if self.line == self.lines {
-                self.line = 0;
-                self.pair = (self.pair + 1) % self.pairs.len();
-            }
-        }
-    }
-}
-
-impl Program for PacedCopyProgram {
-    fn fetch(&mut self, next_id: UopId) -> Fetch {
-        if let Some(u) = self.queue.pop_front() {
-            return Fetch::Uop(u);
-        }
-        if self.pending.is_some() {
-            return Fetch::Stall;
-        }
-        if self.stop.load(Ordering::Relaxed) {
-            return Fetch::Done;
-        }
-        // New round: the pacer load goes out first, the burst streams
-        // behind it while it is in flight.
-        self.refill_burst();
-        self.pending = Some(next_id);
-        Fetch::Uop(Uop::new(
-            UopKind::Load { addr: PhysAddr(self.pacer_cur), size: 8 },
-            StatTag::App,
-        ))
-    }
-
-    fn on_load_complete(&mut self, id: UopId, data: &[u8]) {
-        if self.pending == Some(id) {
-            self.pending = None;
-            self.pacer_cur = u64::from_le_bytes(data[..8].try_into().expect("8B pointer load"));
-        }
-    }
-}
-
-/// Sweep dimensions of one curve point.
-#[derive(Clone)]
-struct Point {
-    tech: MemTech,
-    lazy: bool,
-    burst: u32,
-}
-
-struct Scale {
-    chase_bytes: u64,
-    steps: u64,
-    bg_cores: usize,
-    pair_bytes: u64,
-    pairs_per_core: usize,
-    bursts: Vec<u32>,
-}
-
-fn total_accesses(stats: &RunStats) -> u64 {
-    stats
-        .mcs
-        .iter()
-        .map(|m| m.reads + m.writes + m.engine_reads + m.engine_writes)
-        .sum()
-}
+use mcs_bench::mess::{job_for, points, row_for, Scale};
+use mcs_bench::{BenchOpts, Table};
 
 fn main() {
-    let smoke = smoke_flag();
-    let scale = if smoke {
-        Scale {
-            chase_bytes: 4 << 20,
-            steps: 1_500,
-            bg_cores: 2,
-            pair_bytes: 256 << 10,
-            pairs_per_core: 2,
-            bursts: vec![0, 4, 32],
-        }
-    } else {
-        Scale {
-            chase_bytes: 8 << 20,
-            steps: 10_000,
-            bg_cores: 4,
-            pair_bytes: 512 << 10,
-            pairs_per_core: 4,
-            bursts: vec![0, 1, 2, 4, 8, 16, 32, 64, 128],
-        }
-    };
-
-    let points: Vec<Point> = MemTech::ALL
-        .iter()
-        .flat_map(|&tech| {
-            [false, true].into_iter().flat_map({
-                let bursts = scale.bursts.clone();
-                move |lazy| {
-                    bursts.clone().into_iter().map(move |burst| Point { tech, lazy, burst })
-                }
-            })
-        })
-        .collect();
+    let smoke = BenchOpts::parse().smoke;
+    let scale = if smoke { Scale::smoke() } else { Scale::full() };
 
     let sc = &scale;
-    let results = mcs_bench::par_run(points.clone(), |p| {
-        let mut space = AddrSpace::dram_3gb();
-        let mut pokes = Pokes::default();
-        let stop = Arc::new(AtomicBool::new(false));
-        let chase_buf = space.alloc_page(sc.chase_bytes);
-        let start = chase_chain(chase_buf, sc.chase_bytes, 0x9e37_79b9, &mut pokes);
-        let probe = ChaseProgram {
-            stop: stop.clone(),
-            cur: start,
-            steps_left: sc.steps,
-            pending: None,
-            state: 0,
-        };
-        let mut programs: Vec<Box<dyn Program>> = vec![Box::new(probe)];
-        let lines = sc.pair_bytes / CACHELINE;
-        for b in 0..sc.bg_cores {
-            let pacer_buf = space.alloc_page(sc.chase_bytes / 2);
-            let pacer_cur =
-                chase_chain(pacer_buf, sc.chase_bytes / 2, 0xc2b2_ae35 + b as u64, &mut pokes);
-            let pairs: Vec<(u64, u64)> = (0..sc.pairs_per_core)
-                .map(|_| {
-                    (space.alloc_page(sc.pair_bytes).0, space.alloc_page(sc.pair_bytes).0)
-                })
-                .collect();
-            programs.push(Box::new(PacedCopyProgram {
-                stop: stop.clone(),
-                lazy: p.lazy,
-                pairs,
-                lines,
-                burst: p.burst,
-                pair: 0,
-                line: 0,
-                pacer_cur,
-                pending: None,
-                queue: VecDeque::new(),
-            }));
-        }
-        let mut cfg = SystemConfig::table1().with_tech(p.tech);
-        cfg.cores = programs.len();
-        Job {
-            cfg,
-            mc2: p.lazy.then(McSquareConfig::default),
-            programs,
-            pokes,
-            max_cycles: 40_000_000_000,
-        }
-    });
+    let results = mcs_bench::par_run(points(sc), |p| job_for(p, sc));
 
     let mut table = Table::new(
         "mess_curves",
@@ -310,54 +25,8 @@ fn main() {
         &["tech", "mode", "burst", "bw_gbps", "lat_ns", "mc_read_ns"],
     );
     for (p, stats) in &results {
-        let bytes = total_accesses(stats) * CACHELINE;
-        let bw_gbps = bytes as f64 * CYCLES_PER_NS / stats.cycles as f64;
-        let lat_ns = ns(marker0(stats)) / sc.steps as f64;
-        let mc = stats
-            .mcs
-            .iter()
-            .fold((0u64, 0u64), |a, m| (a.0 + m.demand_read_lat_sum, a.1 + m.demand_reads_done));
-        let mc_read_ns = mc.0.checked_div(mc.1).map_or(0.0, ns);
-        table.row(vec![
-            p.tech.name().into(),
-            if p.lazy { "mcsquare" } else { "memcpy" }.into(),
-            p.burst.to_string(),
-            f3(bw_gbps),
-            f3(lat_ns),
-            f3(mc_read_ns),
-        ]);
+        table.row(row_for(p, sc, stats));
     }
     table.emit();
-
-    // Soft knee check: the loaded latency at the heaviest injection
-    // should clearly exceed the latency at the lightest.
-    for &tech in MemTech::ALL.iter() {
-        for lazy in [false, true] {
-            let lats: Vec<(u32, f64)> = results
-                .iter()
-                .filter(|(p, _)| p.tech == tech && p.lazy == lazy)
-                .map(|(p, s)| (p.burst, ns(marker0(s)) / sc.steps as f64))
-                .collect();
-            let light = lats.iter().min_by_key(|(b, _)| *b).map(|&(_, l)| l).unwrap_or(0.0);
-            let heavy = lats.iter().max_by_key(|(b, _)| *b).map(|&(_, l)| l).unwrap_or(0.0);
-            let mode = if lazy { "mcsquare" } else { "memcpy" };
-            if heavy > light * 1.2 {
-                eprintln!(
-                    "# knee OK: {} {mode} — {:.1} ns light vs {:.1} ns loaded",
-                    tech.name(),
-                    light,
-                    heavy,
-                );
-            } else {
-                eprintln!(
-                    "# knee WARNING: {} {mode} — latency barely rises under load \
-                     ({:.1} ns light vs {:.1} ns loaded)",
-                    tech.name(),
-                    light,
-                    heavy,
-                );
-            }
-        }
-    }
     mcs_bench::print_sim_throughput();
 }

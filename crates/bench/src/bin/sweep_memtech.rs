@@ -7,7 +7,7 @@
 //! `results/sweep_memtech_fig12.tsv`. Pass `--smoke` for a seconds-long CI
 //! variant (small sizes, all three backends, same code paths).
 
-use mcs_bench::{f3, fmt_size, marker0, ns, smoke_flag, Job, Table};
+use mcs_bench::{f3, fmt_size, marker0, ns, BenchOpts, Job, Table};
 use mcs_sim::alloc::AddrSpace;
 use mcs_sim::config::{MemTech, SystemConfig};
 use mcs_sim::stats::RunStats;
@@ -31,7 +31,10 @@ fn mech_of(p: &Point) -> CopyMech {
 }
 
 fn cfg_of(p: &Point) -> SystemConfig {
-    let mut cfg = SystemConfig::table1_one_core().with_tech(p.tech);
+    let mut cfg = SystemConfig::builder()
+        .base(SystemConfig::table1_one_core())
+        .tech(p.tech)
+        .build();
     cfg.dram = cfg.dram.with_refresh();
     cfg
 }
@@ -41,7 +44,7 @@ fn refreshes(stats: &RunStats) -> u64 {
 }
 
 fn main() {
-    let smoke = smoke_flag();
+    let smoke = BenchOpts::parse().smoke;
     let sizes: Vec<u64> = if smoke {
         vec![1 << 10, 4 << 10]
     } else {

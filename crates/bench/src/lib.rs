@@ -5,7 +5,7 @@
 //! parameter sweeps, and tab-separated result tables written to stdout and
 //! `results/figXX.tsv`, mirroring the paper artifact's output layout.
 
-use mcs_sim::config::SystemConfig;
+use mcs_sim::config::{SimOptions, SystemConfig};
 use mcs_sim::program::{FixedProgram, Program};
 use mcs_sim::stats::RunStats;
 use mcs_sim::system::System;
@@ -19,6 +19,7 @@ use std::sync::OnceLock;
 use std::time::Instant;
 
 pub mod figs;
+pub mod mess;
 
 /// CPU frequency of the Table I machine (cycles per nanosecond).
 pub const CYCLES_PER_NS: f64 = 4.0;
@@ -88,13 +89,19 @@ impl Job {
             None => System::new(cfg, self.programs),
         };
         self.pokes.apply(&mut sys);
+        let opts = mcs_sim::config::sim_options();
+        sys.set_sched_mode(opts.sched);
         #[cfg(feature = "trace")]
-        let trace_to = mcs_sim::config::trace_env();
+        let trace_to = opts.trace.clone();
         #[cfg(feature = "trace")]
         if trace_to.is_some() {
             mcs_trace::arm(mcs_trace::TraceConfig::default());
         }
-        let stats = match sys.run(self.max_cycles) {
+        let run = match opts.watchdog {
+            Some(w) => sys.run_with_watchdog(self.max_cycles, w),
+            None => sys.run(self.max_cycles),
+        };
+        let stats = match run {
             Ok(stats) => stats,
             Err(e) => panic!("simulation stuck: {e}\n{}", sys.debug_dump()),
         };
@@ -111,6 +118,13 @@ impl Job {
 
 /// Cumulative simulated cycles across every [`Job::run`] of this process.
 static SIM_CYCLES: AtomicU64 = AtomicU64::new(0);
+
+/// Cumulative simulated cycles across every [`Job::run`] so far — the
+/// numerator of the throughput figure. `perf_smoke` samples this around
+/// each benchmark to attribute cycles per bench.
+pub fn sim_cycles() -> u64 {
+    SIM_CYCLES.load(Ordering::Relaxed)
+}
 
 fn wall_start() -> &'static Instant {
     static WALL_START: OnceLock<Instant> = OnceLock::new();
@@ -282,7 +296,70 @@ pub fn throughput_kops(stats: &RunStats, txns_per_core: usize, cores: usize) -> 
     (txns_per_core * cores) as f64 / (cycles as f64 / (CYCLES_PER_NS * 1e9)) / 1e3
 }
 
+/// Options shared by every figure binary, parsed from the command line
+/// with the deprecated `MCS_*` environment variables as fallback. Every
+/// binary calls [`BenchOpts::parse`] first thing in `main`; that also
+/// installs the resulting [`SimOptions`] process-wide
+/// ([`mcs_sim::config::set_sim_options`]) so configurations built later
+/// honour them.
+///
+/// Recognised flags: `--smoke`, `--refresh`, `--faults`, `--trace=PATH`,
+/// `--sched=tick|conservative|event`, `--watchdog=CYCLES`. Unknown
+/// arguments are ignored (binaries may define their own).
+#[derive(Clone, Debug)]
+pub struct BenchOpts {
+    /// `--smoke`: the seconds-long CI variant of a sweep.
+    pub smoke: bool,
+    /// Simulation options derived from the flags (and the env shim).
+    pub sim: SimOptions,
+}
+
+impl BenchOpts {
+    /// Parse the process arguments and install the simulation options
+    /// process-wide.
+    pub fn parse() -> BenchOpts {
+        let opts = BenchOpts::from_args(std::env::args().skip(1));
+        mcs_sim::config::set_sim_options(opts.sim.clone());
+        opts
+    }
+
+    /// Parse from an explicit argument list (no global side effects —
+    /// unit-testable).
+    pub fn from_args(args: impl IntoIterator<Item = String>) -> BenchOpts {
+        let mut sim = SimOptions::from_env();
+        let mut smoke = false;
+        for a in args {
+            match a.as_str() {
+                "--smoke" => smoke = true,
+                "--refresh" => sim.refresh = true,
+                "--faults" => sim.fault = mcs_sim::fault::FaultPlan::mild(0xFA17),
+                s if s.starts_with("--trace=") => {
+                    let p = &s["--trace=".len()..];
+                    sim.trace = (!p.is_empty()).then(|| p.to_string());
+                }
+                s if s.starts_with("--sched=") => {
+                    sim.sched = match &s["--sched=".len()..] {
+                        "tick" => mcs_sim::SchedMode::TickByTick,
+                        "conservative" => mcs_sim::SchedMode::Conservative,
+                        "event" => mcs_sim::SchedMode::EventDriven,
+                        other => panic!("unknown --sched mode {other:?} (tick|conservative|event)"),
+                    };
+                }
+                s if s.starts_with("--watchdog=") => {
+                    let w = s["--watchdog=".len()..]
+                        .parse()
+                        .expect("--watchdog takes a cycle count");
+                    sim.watchdog = Some(w);
+                }
+                _ => {} // binaries may define their own arguments
+            }
+        }
+        BenchOpts { smoke, sim }
+    }
+}
+
 /// Whether `--smoke` was passed: the seconds-long CI variant of a sweep.
+#[deprecated(note = "use BenchOpts::parse().smoke")]
 pub fn smoke_flag() -> bool {
     std::env::args().any(|a| a == "--smoke")
 }

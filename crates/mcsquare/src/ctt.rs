@@ -95,6 +95,11 @@ pub struct CttStats {
 pub struct Ctt {
     map: RangeMap<SrcBase>,
     capacity: usize,
+    /// Memoized [`Ctt::hw_entries`] — the drain policy and the event-driven
+    /// scheduler's `needs_tick` probe read occupancy every cycle, while the
+    /// table itself changes only on copy/free/write traffic. Invalidated by
+    /// every `map` mutation.
+    hw_cache: std::cell::Cell<Option<usize>>,
     /// Statistics.
     pub stats: CttStats,
 }
@@ -102,7 +107,12 @@ pub struct Ctt {
 impl Ctt {
     /// Create a table with room for `capacity` entries (segments).
     pub fn new(capacity: usize) -> Ctt {
-        Ctt { map: RangeMap::new(), capacity, stats: CttStats::default() }
+        Ctt {
+            map: RangeMap::new(),
+            capacity,
+            hw_cache: std::cell::Cell::new(None),
+            stats: CttStats::default(),
+        }
     }
 
     /// Number of live entries (segments).
@@ -135,7 +145,12 @@ impl Ctt {
     /// segment wider than that is stored as several back-to-back rows:
     /// `ceil(len / MAX_ENTRY_SIZE)` per segment.
     pub fn hw_entries(&self) -> usize {
-        self.map.iter().map(|(r, _)| hw_rows(r.len())).sum()
+        if let Some(n) = self.hw_cache.get() {
+            return n;
+        }
+        let n = self.map.iter().map(|(r, _)| hw_rows(r.len())).sum();
+        self.hw_cache.set(Some(n));
+        n
     }
 
     /// Insert a prospective copy `size` bytes from `src` to `dst`.
@@ -197,6 +212,7 @@ impl Ctt {
         for (r, src_base) in pieces {
             self.map.insert(r, SrcBase(src_base));
         }
+        self.hw_cache.set(None);
         self.stats.inserts += 1;
         self.stats.peak_segments = self.stats.peak_segments.max(self.len() as u64);
         Ok(())
@@ -225,6 +241,7 @@ impl Ctt {
         let r = ByteRange::sized(addr.0, len);
         let before = self.map.covered_bytes();
         self.map.remove(r);
+        self.hw_cache.set(None);
         self.stats.bytes_untracked_by_write += before - self.map.covered_bytes();
     }
 
@@ -273,6 +290,7 @@ impl Ctt {
         for v in &victims {
             self.map.remove(*v);
         }
+        self.hw_cache.set(None);
         self.stats.freed_entries += victims.len() as u64;
         victims.len()
     }

@@ -897,6 +897,15 @@ impl CopyEngine for McSquareEngine {
         self.drain_tick(mcid, io);
     }
 
+    fn needs_tick(&self, mcid: usize) -> bool {
+        // Mirrors what tick() would do for this controller: release BPQ
+        // entries, advance in-flight drain jobs, or launch new ones when
+        // CTT occupancy is at the drain threshold.
+        !self.bpqs[mcid].is_empty()
+            || !self.drains[mcid].is_empty()
+            || self.ctt.occupancy() >= self.cfg.drain_threshold
+    }
+
     fn busy(&self) -> bool {
         !self.recons.is_empty()
             || !self.arming.is_empty()

@@ -170,6 +170,14 @@ impl Llc {
             || !self.pending_write_acks.is_empty()
     }
 
+    /// Whether deferred requests are queued for replay — i.e. whether
+    /// [`Llc::begin_cycle`] would do anything. Used by the event-driven
+    /// scheduler: with no retries and no deliverable input, the LLC's
+    /// whole phase is a no-op.
+    pub fn has_retries(&self) -> bool {
+        !self.retry.is_empty()
+    }
+
     /// Replay deferred requests (call once per cycle before new input).
     pub fn begin_cycle(&mut self, now: Cycle, out: &mut LlcOut) {
         for _ in 0..self.retry.len() {

@@ -107,28 +107,176 @@ impl MemTech {
     }
 }
 
-/// Whether the `MCS_REFRESH` environment variable asks for refresh-enabled
-/// runs (CI's second timing path; default off so published numbers are
-/// reproduced exactly).
-pub fn refresh_env() -> bool {
-    matches!(std::env::var("MCS_REFRESH").as_deref(), Ok("1") | Ok("true"))
+/// Run-level options that used to be scattered across ad-hoc environment
+/// variables (`MCS_REFRESH`, `MCS_FAULTS`, `MCS_TRACE`) and per-system
+/// setters: one typed value, set once per process via [`set_sim_options`]
+/// and consumed by [`SystemConfig::table1`]/[`SystemConfig::tiny`] and the
+/// bench harness. Construct with [`SimOptions::builder`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimOptions {
+    /// Enable DRAM all-bank refresh at each technology's canonical
+    /// interval (default off so published numbers are reproduced exactly).
+    pub refresh: bool,
+    /// Fault-injection plan (empty = inject nothing).
+    pub fault: crate::fault::FaultPlan,
+    /// Arm event tracing around each bench job and write
+    /// `<path>.jobN.trace.json` plus companion series/histogram TSVs; see
+    /// DESIGN.md, "Observability layer". Ignored (benignly) when the
+    /// `trace` feature is off.
+    pub trace: Option<String>,
+    /// How the run loop advances simulated time (the fast-forward knob,
+    /// generalised): see [`crate::system::SchedMode`].
+    pub sched: crate::system::SchedMode,
+    /// Liveness watchdog window in cycles for bench runs (`None` = no
+    /// watchdog; see [`crate::system::System::run_with_watchdog`]).
+    pub watchdog: Option<crate::Cycle>,
 }
 
-/// Output path requested by the `MCS_TRACE` environment variable, if any.
-/// When set (and the `trace` feature is compiled in), the bench harness
-/// arms event tracing around each job and writes `<path>.jobN.trace.json`
-/// plus companion series/histogram TSVs; see DESIGN.md, "Observability
-/// layer". Ignored (benignly) when the feature is off.
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            refresh: false,
+            fault: crate::fault::FaultPlan::none(),
+            trace: None,
+            sched: crate::system::SchedMode::EventDriven,
+            watchdog: None,
+        }
+    }
+}
+
+impl SimOptions {
+    /// Start building options from the defaults.
+    pub fn builder() -> SimOptionsBuilder {
+        SimOptionsBuilder { opts: SimOptions::default() }
+    }
+
+    /// The options the legacy environment variables ask for. Emits a
+    /// one-time deprecation warning to stderr when any of them is set:
+    /// new code should pass options explicitly ([`set_sim_options`], or
+    /// the bench harness's `BenchOpts` flags).
+    pub fn from_env() -> SimOptions {
+        let refresh = matches!(std::env::var("MCS_REFRESH").as_deref(), Ok("1") | Ok("true"));
+        let faults = matches!(std::env::var("MCS_FAULTS").as_deref(), Ok("1") | Ok("true"));
+        let trace = std::env::var("MCS_TRACE").ok().filter(|s| !s.is_empty());
+        if refresh || faults || trace.is_some() {
+            warn_env_deprecated();
+        }
+        SimOptions {
+            refresh,
+            fault: if faults {
+                crate::fault::FaultPlan::mild(0xFA17)
+            } else {
+                crate::fault::FaultPlan::none()
+            },
+            trace,
+            ..SimOptions::default()
+        }
+    }
+}
+
+/// Builder for [`SimOptions`].
+#[derive(Clone, Debug, Default)]
+pub struct SimOptionsBuilder {
+    opts: SimOptions,
+}
+
+impl SimOptionsBuilder {
+    /// Enable/disable DRAM refresh.
+    pub fn refresh(mut self, on: bool) -> Self {
+        self.opts.refresh = on;
+        self
+    }
+
+    /// Install a fault-injection plan.
+    pub fn fault(mut self, plan: crate::fault::FaultPlan) -> Self {
+        self.opts.fault = plan;
+        self
+    }
+
+    /// Arm event tracing, writing outputs next to `path`.
+    pub fn trace(mut self, path: impl Into<String>) -> Self {
+        self.opts.trace = Some(path.into());
+        self
+    }
+
+    /// Select the tick scheduling mode.
+    pub fn sched(mut self, mode: crate::system::SchedMode) -> Self {
+        self.opts.sched = mode;
+        self
+    }
+
+    /// Legacy on/off form of [`Self::sched`]: `true` =
+    /// [`crate::system::SchedMode::EventDriven`], `false` =
+    /// [`crate::system::SchedMode::TickByTick`].
+    pub fn fast_forward(mut self, on: bool) -> Self {
+        self.opts.sched = if on {
+            crate::system::SchedMode::EventDriven
+        } else {
+            crate::system::SchedMode::TickByTick
+        };
+        self
+    }
+
+    /// Arm a liveness watchdog with the given window.
+    pub fn watchdog(mut self, window: crate::Cycle) -> Self {
+        self.opts.watchdog = Some(window);
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> SimOptions {
+        self.opts
+    }
+}
+
+static SIM_OPTS: std::sync::RwLock<Option<SimOptions>> = std::sync::RwLock::new(None);
+
+/// Install process-wide simulation options. Later calls replace earlier
+/// ones; configs built before the call are unaffected.
+pub fn set_sim_options(opts: SimOptions) {
+    *SIM_OPTS.write().expect("options lock") = Some(opts);
+}
+
+/// The process-wide simulation options: whatever [`set_sim_options`]
+/// installed, falling back to the deprecated environment variables
+/// ([`SimOptions::from_env`]) when nothing was set explicitly.
+pub fn sim_options() -> SimOptions {
+    if let Some(o) = SIM_OPTS.read().expect("options lock").as_ref() {
+        return o.clone();
+    }
+    SimOptions::from_env()
+}
+
+fn warn_env_deprecated() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    static WARNED: AtomicBool = AtomicBool::new(false);
+    if !WARNED.swap(true, Ordering::Relaxed) {
+        eprintln!(
+            "# warning: MCS_REFRESH/MCS_FAULTS/MCS_TRACE are deprecated; \
+             use the --refresh/--faults/--trace bench flags or \
+             mcs_sim::config::set_sim_options"
+        );
+    }
+}
+
+/// Whether refresh-enabled runs were requested (CI's second timing path;
+/// default off so published numbers are reproduced exactly).
+#[deprecated(note = "use sim_options().refresh")]
+pub fn refresh_env() -> bool {
+    sim_options().refresh
+}
+
+/// Output path requested for event tracing, if any.
+#[deprecated(note = "use sim_options().trace")]
 pub fn trace_env() -> Option<String> {
-    std::env::var("MCS_TRACE").ok().filter(|s| !s.is_empty())
+    sim_options().trace
 }
 
 /// DRAM timing and geometry for one channel, expressed in CPU cycles.
 ///
 /// Defaults approximate DDR4-2400 at a 4 GHz CPU clock: tRCD = tRP = tCL ≈
 /// 13.75 ns ≈ 55 cycles, 64B burst ≈ 3.33 ns ≈ 13 cycles (19.2 GB/s per
-/// channel). See [`DramConfig::ddr5`] and [`DramConfig::hbm2`] for the
-/// other technologies.
+/// channel). See [`DramConfig::for_tech`] for the other technologies.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DramConfig {
     /// Backend this configuration describes.
@@ -180,60 +328,67 @@ impl Default for DramConfig {
 }
 
 impl DramConfig {
-    /// DDR4-2400: the Table I baseline (identical to [`Default`]).
-    pub fn ddr4() -> DramConfig {
-        DramConfig::default()
-    }
-
-    /// DDR5-4800 sub-channel: 32 banks in 8 groups, 2 KB rows (the 32-bit
-    /// sub-channel fetches half a module row), tRCD/tRP/tCL ≈ 16 ns ≈ 64
-    /// cycles, BL16 burst ≈ 3.33 ns ≈ 13 cycles, tCCD_L ≈ 5 ns ≈ 20
-    /// cycles, tRFC ≈ 295 ns ≈ 1180 cycles.
-    pub fn ddr5() -> DramConfig {
-        DramConfig {
-            tech: MemTech::Ddr5,
-            banks: 32,
-            bank_groups: 8,
-            pseudo_channels: 1,
-            row_bytes: 2048,
-            t_rcd: 64,
-            t_rp: 64,
-            t_cl: 64,
-            t_burst: 13,
-            t_ccd_l: 20,
-            t_refi: 0,
-            t_rfc: 1180,
-        }
-    }
-
-    /// HBM2E-style channel: 2 pseudo-channels of 16 banks each, 1 KB
-    /// rows, tRCD/tRP/tCL ≈ 14 ns ≈ 56 cycles, 64B over a 64-bit
-    /// pseudo-channel bus at 3.6 Gb/s ≈ 2.2 ns ≈ 9 cycles, tRFC ≈ 260 ns
-    /// ≈ 1040 cycles.
-    pub fn hbm2() -> DramConfig {
-        DramConfig {
-            tech: MemTech::Hbm2,
-            banks: 16,
-            bank_groups: 1,
-            pseudo_channels: 2,
-            row_bytes: 1024,
-            t_rcd: 56,
-            t_rp: 56,
-            t_cl: 56,
-            t_burst: 9,
-            t_ccd_l: 0,
-            t_refi: 0,
-            t_rfc: 1040,
-        }
-    }
-
-    /// The canonical timing for `tech`.
+    /// The canonical timing for `tech`:
+    ///
+    /// * **DDR4-2400** — the Table I baseline (identical to [`Default`]).
+    /// * **DDR5-4800 sub-channel** — 32 banks in 8 groups, 2 KB rows (the
+    ///   32-bit sub-channel fetches half a module row), tRCD/tRP/tCL ≈
+    ///   16 ns ≈ 64 cycles, BL16 burst ≈ 3.33 ns ≈ 13 cycles, tCCD_L ≈
+    ///   5 ns ≈ 20 cycles, tRFC ≈ 295 ns ≈ 1180 cycles.
+    /// * **HBM2E-style channel** — 2 pseudo-channels of 16 banks each,
+    ///   1 KB rows, tRCD/tRP/tCL ≈ 14 ns ≈ 56 cycles, 64B over a 64-bit
+    ///   pseudo-channel bus at 3.6 Gb/s ≈ 2.2 ns ≈ 9 cycles, tRFC ≈
+    ///   260 ns ≈ 1040 cycles.
     pub fn for_tech(tech: MemTech) -> DramConfig {
         match tech {
-            MemTech::Ddr4 => DramConfig::ddr4(),
-            MemTech::Ddr5 => DramConfig::ddr5(),
-            MemTech::Hbm2 => DramConfig::hbm2(),
+            MemTech::Ddr4 => DramConfig::default(),
+            MemTech::Ddr5 => DramConfig {
+                tech: MemTech::Ddr5,
+                banks: 32,
+                bank_groups: 8,
+                pseudo_channels: 1,
+                row_bytes: 2048,
+                t_rcd: 64,
+                t_rp: 64,
+                t_cl: 64,
+                t_burst: 13,
+                t_ccd_l: 20,
+                t_refi: 0,
+                t_rfc: 1180,
+            },
+            MemTech::Hbm2 => DramConfig {
+                tech: MemTech::Hbm2,
+                banks: 16,
+                bank_groups: 1,
+                pseudo_channels: 2,
+                row_bytes: 1024,
+                t_rcd: 56,
+                t_rp: 56,
+                t_cl: 56,
+                t_burst: 9,
+                t_ccd_l: 0,
+                t_refi: 0,
+                t_rfc: 1040,
+            },
         }
+    }
+
+    /// DDR4-2400: the Table I baseline (identical to [`Default`]).
+    #[deprecated(note = "use DramConfig::for_tech(MemTech::Ddr4)")]
+    pub fn ddr4() -> DramConfig {
+        DramConfig::for_tech(MemTech::Ddr4)
+    }
+
+    /// DDR5-4800 sub-channel timing (see [`DramConfig::for_tech`]).
+    #[deprecated(note = "use DramConfig::for_tech(MemTech::Ddr5)")]
+    pub fn ddr5() -> DramConfig {
+        DramConfig::for_tech(MemTech::Ddr5)
+    }
+
+    /// HBM2E-style channel timing (see [`DramConfig::for_tech`]).
+    #[deprecated(note = "use DramConfig::for_tech(MemTech::Hbm2)")]
+    pub fn hbm2() -> DramConfig {
+        DramConfig::for_tech(MemTech::Hbm2)
     }
 
     /// Enable all-bank refresh at the technology's canonical interval:
@@ -247,10 +402,11 @@ impl DramConfig {
         self
     }
 
-    /// Enable refresh when the `MCS_REFRESH` env var asks for it
-    /// ([`refresh_env`]); otherwise leave it as configured.
+    /// Enable refresh when the process-wide options ask for it
+    /// ([`sim_options`]); otherwise leave it as configured.
+    #[deprecated(note = "use SystemConfig::builder().refresh(..) or sim_options()")]
     pub fn refresh_from_env(self) -> DramConfig {
-        if refresh_env() {
+        if sim_options().refresh {
             self.with_refresh()
         } else {
             self
@@ -324,8 +480,10 @@ pub struct SystemConfig {
 }
 
 impl SystemConfig {
-    /// The paper's Table I configuration.
+    /// The paper's Table I configuration, honouring the process-wide
+    /// [`sim_options`] (refresh, fault plan).
     pub fn table1() -> SystemConfig {
+        let opts = sim_options();
         SystemConfig {
             cores: 8,
             core: CoreConfig::default(),
@@ -348,11 +506,15 @@ impl SystemConfig {
                 prefetch_degree: 8,
             },
             channels: 2,
-            dram: DramConfig::ddr4().refresh_from_env(),
+            dram: if opts.refresh {
+                DramConfig::for_tech(MemTech::Ddr4).with_refresh()
+            } else {
+                DramConfig::for_tech(MemTech::Ddr4)
+            },
             mc: McConfig { rpq_cap: 48, ..McConfig::default() },
             links: LinkConfig::default(),
             ctt_latency: 4,
-            fault: crate::fault::FaultPlan::from_env(),
+            fault: opts.fault,
         }
     }
 
@@ -366,19 +528,31 @@ impl SystemConfig {
     /// canonical [`DramConfig`] for `tech` and adjusts the channel count
     /// ([`MemTech::default_channels`]). Whether refresh was enabled is
     /// carried over at the new technology's canonical interval.
-    pub fn with_tech(mut self, tech: MemTech) -> SystemConfig {
-        let refresh = self.dram.t_refi > 0;
-        self.channels = tech.default_channels();
-        self.dram = DramConfig::for_tech(tech);
-        if refresh {
-            self.dram = self.dram.with_refresh();
-        }
-        self
+    #[deprecated(note = "use SystemConfig::builder().tech(..)")]
+    pub fn with_tech(self, tech: MemTech) -> SystemConfig {
+        SystemConfigBuilder { cfg: self }.tech(tech).build()
+    }
+
+    /// Start building a configuration from Table I (honouring the
+    /// process-wide [`sim_options`]): override the memory technology,
+    /// refresh, core count, or fault plan, then [`build`].
+    ///
+    /// [`build`]: SystemConfigBuilder::build
+    ///
+    /// ```
+    /// use mcs_sim::config::{MemTech, SystemConfig};
+    /// let cfg = SystemConfig::builder().tech(MemTech::Hbm2).refresh(true).build();
+    /// assert_eq!(cfg.channels, 8);
+    /// assert!(cfg.dram.t_refi > 0);
+    /// ```
+    pub fn builder() -> SystemConfigBuilder {
+        SystemConfigBuilder { cfg: SystemConfig::table1() }
     }
 
     /// A tiny configuration for fast unit tests: small caches so evictions
     /// and misses occur quickly, short latencies so tests run in few cycles.
     pub fn tiny() -> SystemConfig {
+        let opts = sim_options();
         SystemConfig {
             cores: 1,
             core: CoreConfig {
@@ -414,16 +588,16 @@ impl SystemConfig {
                 t_rp: 6,
                 t_cl: 6,
                 t_burst: 2,
-                // Scaled-down refresh so the env-gated refresh path is
+                // Scaled-down refresh so the options-gated refresh path is
                 // actually exercised inside short unit-test runs.
-                t_refi: if refresh_env() { 500 } else { 0 },
+                t_refi: if opts.refresh { 500 } else { 0 },
                 t_rfc: 60,
                 ..DramConfig::default()
             },
             mc: McConfig { rpq_cap: 8, wpq_cap: 8, wpq_drain_hi: 0.7, wpq_drain_lo: 0.2 },
             links: LinkConfig { core_l1: 1, l1_llc: 2, llc_mc: 4, mc_mc: 4 },
             ctt_latency: 1,
-            fault: crate::fault::FaultPlan::from_env(),
+            fault: opts.fault,
         }
     }
 
@@ -432,6 +606,62 @@ impl SystemConfig {
     pub fn peak_bw_bytes_per_cycle(&self) -> f64 {
         (self.channels * self.dram.pseudo_channels) as f64 * crate::addr::CACHELINE as f64
             / self.dram.t_burst as f64
+    }
+}
+
+/// Builder for [`SystemConfig`]: see [`SystemConfig::builder`].
+#[derive(Clone, Debug)]
+pub struct SystemConfigBuilder {
+    cfg: SystemConfig,
+}
+
+impl SystemConfigBuilder {
+    /// Replace the starting configuration (default: Table I).
+    pub fn base(mut self, cfg: SystemConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Number of CPU cores.
+    pub fn cores(mut self, n: usize) -> Self {
+        self.cfg.cores = n;
+        self
+    }
+
+    /// Swap the memory technology: canonical [`DramConfig`] timing for
+    /// `tech` plus its channel count ([`MemTech::default_channels`]).
+    /// Whether refresh was enabled is carried over at the new
+    /// technology's canonical interval.
+    pub fn tech(mut self, tech: MemTech) -> Self {
+        let refresh = self.cfg.dram.t_refi > 0;
+        self.cfg.channels = tech.default_channels();
+        self.cfg.dram = DramConfig::for_tech(tech);
+        if refresh {
+            self.cfg.dram = self.cfg.dram.with_refresh();
+        }
+        self
+    }
+
+    /// Enable refresh at the current technology's canonical interval, or
+    /// disable it.
+    pub fn refresh(mut self, on: bool) -> Self {
+        if on {
+            self.cfg.dram = self.cfg.dram.with_refresh();
+        } else {
+            self.cfg.dram.t_refi = 0;
+        }
+        self
+    }
+
+    /// Install a fault-injection plan.
+    pub fn fault(mut self, plan: crate::fault::FaultPlan) -> Self {
+        self.cfg.fault = plan;
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> SystemConfig {
+        self.cfg
     }
 }
 
@@ -474,38 +704,80 @@ mod tests {
     }
 
     #[test]
-    fn with_tech_swaps_timing_and_channels() {
-        // Pin refresh off so the test is stable under MCS_REFRESH=1 runs
+    fn builder_swaps_timing_and_channels() {
+        // Pin refresh off so the test is stable under refresh-enabled runs
         // (refresh preservation is covered by the next test).
         let mut base = SystemConfig::table1();
         base.dram.t_refi = 0;
-        let c = base.clone().with_tech(MemTech::Ddr5);
+        let c = SystemConfig::builder().base(base.clone()).tech(MemTech::Ddr5).build();
         assert_eq!(c.dram.tech, MemTech::Ddr5);
         assert_eq!(c.channels, 4);
         assert!(c.dram.bank_groups > 1 && c.dram.t_ccd_l > c.dram.t_burst);
-        let h = base.with_tech(MemTech::Hbm2);
+        let h = SystemConfig::builder().base(base).tech(MemTech::Hbm2).build();
         assert_eq!(h.channels, 8);
         assert!(h.dram.pseudo_channels > 1);
         // Round-tripping back to DDR4 restores the baseline machine.
-        let back = h.with_tech(MemTech::Ddr4);
-        assert_eq!(back.dram, DramConfig::ddr4());
+        let back = SystemConfig::builder().base(h).tech(MemTech::Ddr4).build();
+        assert_eq!(back.dram, DramConfig::for_tech(MemTech::Ddr4));
         assert_eq!(back.channels, 2);
     }
 
     #[test]
-    fn with_tech_preserves_refresh_choice() {
-        let mut c = SystemConfig::table1();
-        c.dram = c.dram.with_refresh();
-        let d5 = c.clone().with_tech(MemTech::Ddr5);
-        assert!(d5.dram.t_refi > 0);
-        c.dram.t_refi = 0;
-        assert_eq!(c.with_tech(MemTech::Ddr5).dram.t_refi, 0);
+    fn builder_preserves_refresh_choice() {
+        let on = SystemConfig::builder().refresh(true).tech(MemTech::Ddr5).build();
+        assert!(on.dram.t_refi > 0);
+        let off = SystemConfig::builder().refresh(false).tech(MemTech::Ddr5).build();
+        assert_eq!(off.dram.t_refi, 0);
+    }
+
+    #[test]
+    fn builder_sets_cores_and_fault() {
+        let c = SystemConfig::builder()
+            .cores(2)
+            .fault(crate::fault::FaultPlan::mild(7))
+            .build();
+        assert_eq!(c.cores, 2);
+        assert!(!c.fault.is_empty());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_match_builder() {
+        // The old entry points must keep producing identical configs while
+        // they exist, so downstream code can migrate incrementally.
+        assert_eq!(DramConfig::ddr4(), DramConfig::for_tech(MemTech::Ddr4));
+        assert_eq!(DramConfig::ddr5(), DramConfig::for_tech(MemTech::Ddr5));
+        assert_eq!(DramConfig::hbm2(), DramConfig::for_tech(MemTech::Hbm2));
+        let mut base = SystemConfig::table1();
+        base.dram.t_refi = 0;
+        assert_eq!(
+            base.clone().with_tech(MemTech::Hbm2),
+            SystemConfig::builder().base(base).tech(MemTech::Hbm2).build()
+        );
     }
 
     #[test]
     fn peak_bandwidth_orders_technologies() {
-        let bw = |t: MemTech| SystemConfig::table1().with_tech(t).peak_bw_bytes_per_cycle();
+        let bw = |t: MemTech| {
+            SystemConfig::builder().tech(t).build().peak_bw_bytes_per_cycle()
+        };
         let (d4, d5, hbm) = (bw(MemTech::Ddr4), bw(MemTech::Ddr5), bw(MemTech::Hbm2));
         assert!(d4 < d5 && d5 < hbm, "bw ordering: {d4} {d5} {hbm}");
+    }
+
+    #[test]
+    fn sim_options_builder_round_trips() {
+        let o = SimOptions::builder()
+            .refresh(true)
+            .trace("trace/out")
+            .sched(crate::system::SchedMode::Conservative)
+            .watchdog(10_000)
+            .build();
+        assert!(o.refresh);
+        assert_eq!(o.trace.as_deref(), Some("trace/out"));
+        assert_eq!(o.sched, crate::system::SchedMode::Conservative);
+        assert_eq!(o.watchdog, Some(10_000));
+        let ff = SimOptions::builder().fast_forward(false).build();
+        assert_eq!(ff.sched, crate::system::SchedMode::TickByTick);
     }
 }

@@ -94,6 +94,19 @@ pub struct Core {
     load_vals: HashMap<UopId, Vec<u8>>,
     outstanding_mclazy: usize,
     outstanding_nt: usize,
+    /// Leading store-buffer entries already sent to the L1. Sends are
+    /// strictly in order and stop at the first unresolved entry, so the
+    /// sent entries always form a prefix of the deque; the drain loops
+    /// start here instead of rescanning acknowledged-pending stores.
+    sb_sent_prefix: usize,
+    /// Fence/Flush ROB entries not yet done. With none pending and no
+    /// matured compute (see `compute_ready_min`), `complete` has nothing
+    /// to transition and skips its ROB scan.
+    undone_ff: usize,
+    /// Lower bound on the earliest `ready_at` of a not-yet-done Compute
+    /// entry (`None` = no such entry). Min-merged at dispatch, recomputed
+    /// exactly whenever the completion scan runs.
+    compute_ready_min: Option<Cycle>,
     /// Uop that failed a resource check at dispatch, retried next cycle.
     held: Option<Uop>,
     /// The program returned `Fetch::Stall`; only a load completion can
@@ -141,6 +154,9 @@ impl Core {
             load_vals: HashMap::new(),
             outstanding_mclazy: 0,
             outstanding_nt: 0,
+            sb_sent_prefix: 0,
+            undone_ff: 0,
+            compute_ready_min: None,
             held: None,
             frontend_stalled: false,
             fence_blocked: false,
@@ -213,6 +229,9 @@ impl Core {
             L1ToCore::StoreDone { id } => {
                 if let Some(pos) = self.sb.iter().position(|s| s.id == id) {
                     self.sb.remove(pos);
+                    if pos < self.sb_sent_prefix {
+                        self.sb_sent_prefix -= 1;
+                    }
                 }
             }
             L1ToCore::ClwbDone { id } => {
@@ -256,7 +275,6 @@ impl Core {
         self.issue_clwbs(out);
         self.drain_sb(out);
         let dispatch_stall = self.dispatch(now, out);
-
         self.account(now, retired, dispatch_stall);
 
         if self.program_done && self.rob.is_empty() && self.loads.is_empty() && self.mem_drained() {
@@ -265,6 +283,12 @@ impl Core {
     }
 
     fn complete(&mut self, now: Cycle) {
+        // Loads and stores transition via `mark_done`; only Fence/Flush
+        // entries and maturing Computes need the scan, so skip it when
+        // neither exists — the common case in streaming phases.
+        if self.undone_ff == 0 && self.compute_ready_min.is_none_or(|r| r > now) {
+            return;
+        }
         let drained = self.mem_drained();
         let no_loads = self.loads.is_empty();
         // A pipeline flush completes only at the head of an otherwise
@@ -272,20 +296,26 @@ impl Core {
         if let Some(head) = self.rob.front_mut() {
             if head.kind == RobKind::Flush && drained && no_loads && !head.done {
                 head.done = true;
+                self.undone_ff -= 1;
             }
         }
+        let mut next_ready: Option<Cycle> = None;
         for e in self.rob.iter_mut() {
             if e.done {
                 continue;
             }
             match e.kind {
-                RobKind::Compute
-                    if e.ready_at.is_some_and(|r| r <= now) => {
+                RobKind::Compute => {
+                    if e.ready_at.is_some_and(|r| r <= now) {
                         e.done = true;
+                    } else if let Some(r) = e.ready_at {
+                        next_ready = Some(next_ready.map_or(r, |m: Cycle| m.min(r)));
                     }
+                }
                 RobKind::Fence
                     if drained && no_loads => {
                         e.done = true;
+                        self.undone_ff -= 1;
                     }
                 RobKind::Flush => {
                     // Completed below (needs head-of-ROB knowledge).
@@ -293,6 +323,7 @@ impl Core {
                 _ => {}
             }
         }
+        self.compute_ready_min = next_ready;
     }
 
     fn retire(&mut self, now: Cycle) -> usize {
@@ -362,13 +393,20 @@ impl Core {
                 continue; // disjoint
             }
             if slo <= lo && hi <= shi && !s.nontemporal {
-                match &s.data {
-                    Some(d) => {
-                        let off = (lo - slo) as usize;
-                        return SbCheck::Forward(d[off..off + size].to_vec());
-                    }
-                    None => return SbCheck::Conflict, // data not produced yet
+                let off = (lo - slo) as usize;
+                if let Some(d) = &s.data {
+                    return SbCheck::Forward(d[off..off + size].to_vec());
                 }
+                // Data may be available but not yet materialized into the
+                // entry (resolution is lazy, see drain_sb): forward straight
+                // from the producing load's value.
+                if let Some((load, loff)) = s.from {
+                    if let Some(v) = self.load_vals.get(&load) {
+                        let off = loff as usize + off;
+                        return SbCheck::Forward(v[off..off + size].to_vec());
+                    }
+                }
+                return SbCheck::Conflict; // data not produced yet
             }
             return SbCheck::Conflict; // partial overlap: wait for drain
         }
@@ -404,8 +442,17 @@ impl Core {
     }
 
     fn drain_sb(&mut self, out: &mut CoreOut) {
-        // Resolve FromLoad data.
-        for s in self.sb.iter_mut() {
+        // Sent entries form a prefix (in-order sends) and are fully
+        // resolved, so the send loop starts past them. FromLoad data is
+        // resolved lazily, right at the send head — entries deeper in the
+        // buffer cannot send this cycle anyway, and `sb_lookup` forwards
+        // straight out of `load_vals` for them.
+        let mut sent = 0;
+        let mut sent_nt = false;
+        for s in self.sb.iter_mut().skip(self.sb_sent_prefix) {
+            if s.sent {
+                continue;
+            }
             if s.data.is_none() {
                 if let Some((load, off)) = s.from {
                     if let Some(v) = self.load_vals.get(&load) {
@@ -415,13 +462,6 @@ impl Core {
                     }
                 }
             }
-        }
-        // Send ready stores (in order, pipelined).
-        let mut sent = 0;
-        for s in self.sb.iter_mut() {
-            if s.sent {
-                continue;
-            }
             let Some(data) = s.data.clone() else { break }; // in-order: stop at unresolved
             if sent >= 2 {
                 break;
@@ -429,6 +469,7 @@ impl Core {
             s.sent = true;
             sent += 1;
             if s.nontemporal {
+                sent_nt = true;
                 self.outstanding_nt += 1;
                 out.to_l1.push(CoreToL1::Store {
                     id: s.id,
@@ -445,9 +486,15 @@ impl Core {
                 });
             }
         }
+        self.sb_sent_prefix += sent;
         // NT stores leave the SB as soon as sent (posted); completion is
-        // tracked by outstanding_nt for fences.
-        self.sb.retain(|s| !(s.nontemporal && s.sent));
+        // tracked by outstanding_nt for fences. A sent NT entry can only
+        // have been marked in this very call, so the sweep is gated on it.
+        if sent_nt {
+            let before = self.sb.len();
+            self.sb.retain(|s| !(s.nontemporal && s.sent));
+            self.sb_sent_prefix -= before - self.sb.len();
+        }
         // Bound the forwarding value cache, but never drop a value an
         // unresolved store still references (that would deadlock the SB).
         if self.load_vals.len() > 4 * self.cfg.rob_size {
@@ -568,17 +615,11 @@ impl Core {
         if self.rob.front().is_some_and(|e| e.done) {
             return true; // can retire
         }
-        if self
-            .rob
-            .iter()
-            .any(|e| matches!(e.kind, RobKind::Fence | RobKind::Flush) && !e.done)
-            && self.mem_drained()
-            && self.loads.is_empty()
-        {
+        if self.undone_ff > 0 && self.mem_drained() && self.loads.is_empty() {
             return true; // fence/flush completion pending
         }
-        if self.sb.iter().any(|s| !s.sent) {
-            return true;
+        if self.sb.len() > self.sb_sent_prefix {
+            return true; // unsent stores (sent entries form a prefix)
         }
         if self.clwbs.iter().any(|c| !c.sent) {
             return true;
@@ -686,15 +727,21 @@ impl Core {
             }
             UopKind::Mfence => {
                 self.fence_blocked = true;
+                self.undone_ff += 1;
                 self.rob.push_back(RobEntry { id, kind: RobKind::Fence, tag, done: false, ready_at: None });
             }
             UopKind::Compute { cycles } => {
+                let ready = now + *cycles as Cycle;
+                if *cycles > 0 {
+                    self.compute_ready_min =
+                        Some(self.compute_ready_min.map_or(ready, |m| m.min(ready)));
+                }
                 self.rob.push_back(RobEntry {
                     id,
                     kind: RobKind::Compute,
                     tag,
                     done: *cycles == 0,
-                    ready_at: Some(now + *cycles as Cycle),
+                    ready_at: Some(ready),
                 });
             }
             UopKind::Marker { id: mid } => {
@@ -708,6 +755,7 @@ impl Core {
             }
             UopKind::PipelineFlush => {
                 self.fence_blocked = true;
+                self.undone_ff += 1;
                 self.rob.push_back(RobEntry {
                     id,
                     kind: RobKind::Flush,
@@ -789,6 +837,110 @@ impl Core {
         }
     }
 
+    /// Batched accounting for `k` executed cycles during which the core
+    /// was provably frozen: no deliverable inbox message, no internal
+    /// work ([`Core::has_internal_work`] false) and no timer due
+    /// ([`Core::next_event`] in the future). Under those conditions
+    /// [`Core::tick`] retires nothing and changes no state, so its only
+    /// effect is `k` identical [`Core::account`] calls — replicated here
+    /// in O(1). `first_now` is the first elided cycle (stall spans open
+    /// there, exactly where the per-cycle path would have opened them).
+    pub(crate) fn account_idle(&mut self, k: u64, first_now: Cycle) {
+        let _ = first_now; // stamp for the trace hook below
+        if k == 0 || self.finished {
+            return;
+        }
+        let dispatch_stall = self.idle_dispatch_stall();
+        self.stats.cycles += k;
+        let tag = self.rob.front().map(|e| e.tag).unwrap_or(self.last_tag);
+        *self.stats.cycles_by_tag.entry(tag).or_insert(0) += k;
+        if self.loads.iter().any(|l| l.issued) {
+            *self.stats.mem_busy_by_tag.entry(tag).or_insert(0) += k;
+        }
+        let mut stalled: Option<StallReason> = None;
+        if !self.rob.is_empty() {
+            let head = self.rob.front().expect("nonempty");
+            let reason = match head.kind {
+                RobKind::Load => StallReason::LoadMiss,
+                RobKind::Fence => {
+                    if !self.clwbs.is_empty() {
+                        StallReason::ClwbSlots
+                    } else if self.outstanding_mclazy > 0 {
+                        StallReason::MclazySlots
+                    } else {
+                        StallReason::Fence
+                    }
+                }
+                _ => dispatch_stall.unwrap_or(StallReason::Frontend),
+            };
+            self.stats.bump_stall_n(reason, k);
+            if matches!(reason, StallReason::LoadMiss) {
+                *self.stats.mem_stall_by_tag.entry(tag).or_insert(0) += k;
+            }
+            stalled = Some(reason);
+        } else if let Some(r) = dispatch_stall {
+            self.stats.bump_stall_n(r, k);
+            stalled = Some(r);
+        }
+        let _ = stalled;
+        #[cfg(feature = "trace")]
+        match (self.cur_stall, stalled) {
+            (Some((r0, _)), Some(r)) if r0 == r => {}
+            (open, new) => {
+                if let Some((r0, start)) = open {
+                    mcs_trace::emit(mcs_trace::Event::CoreStall {
+                        core: self.id as u16,
+                        reason: r0.name(),
+                        start,
+                        end: first_now,
+                    });
+                }
+                self.cur_stall = new.map(|r| (r, first_now));
+            }
+        }
+    }
+
+    /// What [`Core::dispatch`] would return on a frozen core — a pure
+    /// function of state that cannot change while frozen. Mirrors the
+    /// check order in `dispatch`/`try_dispatch`.
+    fn idle_dispatch_stall(&self) -> Option<StallReason> {
+        if self.program_done {
+            return None;
+        }
+        if self.fence_blocked {
+            return Some(StallReason::Fence);
+        }
+        if self.rob.len() >= self.cfg.rob_size {
+            return Some(StallReason::RobFull);
+        }
+        if let Some(u) = &self.held {
+            // A held uop failed a resource check last cycle and, with the
+            // core frozen, fails the same one again.
+            let r = match &u.kind {
+                UopKind::Load { .. } => StallReason::RobFull,
+                UopKind::Store { .. } => StallReason::StoreBuffer,
+                UopKind::Clwb { .. } | UopKind::WbRange { .. } => StallReason::ClwbSlots,
+                UopKind::Mclazy { .. } => {
+                    if self.outstanding_mclazy >= self.cfg.max_mclazy {
+                        StallReason::MclazySlots
+                    } else {
+                        StallReason::StoreBuffer
+                    }
+                }
+                // Remaining kinds never fail a resource check, so they
+                // are never held.
+                _ => StallReason::Frontend,
+            };
+            return Some(r);
+        }
+        if self.frontend_stalled {
+            return Some(StallReason::Frontend);
+        }
+        // Unreachable for a frozen core: dispatch could fetch a new uop,
+        // so has_internal_work() would have been true.
+        debug_assert!(false, "idle_dispatch_stall on a dispatch-capable core");
+        Some(StallReason::Frontend)
+    }
 }
 
 enum HeldFetch {

@@ -19,6 +19,7 @@ use super::{DramModel, RefreshTimer, RowOutcome};
 use crate::addr::{PhysAddr, CACHELINE};
 use crate::config::DramConfig;
 use crate::Cycle;
+use std::cell::Cell;
 
 #[derive(Debug, Clone)]
 pub(crate) struct Bank {
@@ -36,6 +37,9 @@ pub struct Ddr4Channel {
     banks: Vec<Bank>,
     bus_free: Cycle,
     refresh: RefreshTimer,
+    /// Memoised `next_ready` (min over per-bank `next_cas` and the bus):
+    /// bank state only changes in `access`/`sync`, which clear this.
+    ready_cache: Cell<Option<Cycle>>,
 }
 
 impl Ddr4Channel {
@@ -44,7 +48,7 @@ impl Ddr4Channel {
     pub fn new(cfg: DramConfig, channels: usize) -> Ddr4Channel {
         let banks = vec![Bank { open_row: None, next_cas: 0 }; cfg.banks];
         let refresh = RefreshTimer::new(cfg.t_refi, cfg.t_rfc);
-        Ddr4Channel { cfg, channels, banks, bus_free: 0, refresh }
+        Ddr4Channel { cfg, channels, banks, bus_free: 0, refresh, ready_cache: Cell::new(None) }
     }
 
     pub(crate) fn bank_row(&self, addr: PhysAddr) -> (usize, u64) {
@@ -53,6 +57,22 @@ impl Ddr4Channel {
         let bank = ((local_line / lines_per_row) % self.cfg.banks as u64) as usize;
         let row = local_line / lines_per_row / self.cfg.banks as u64;
         (bank, row)
+    }
+
+    /// `(bank_ready, is_row_hit)` with one address decode.
+    #[inline]
+    pub(crate) fn probe(&self, now: Cycle, addr: PhysAddr) -> (bool, bool) {
+        let (bank, row) = self.bank_row(addr);
+        let b = &self.banks[bank];
+        (b.next_cas <= now, b.open_row == Some(row))
+    }
+
+    pub(crate) fn refresh_due(&self, now: Cycle) -> bool {
+        self.refresh.due(now)
+    }
+
+    pub(crate) fn refresh_next(&self) -> Cycle {
+        self.refresh.next_due()
     }
 }
 
@@ -64,6 +84,7 @@ impl DramModel for Ddr4Channel {
                 b.next_cas = b.next_cas.max(end);
             }
             self.bus_free = self.bus_free.max(end);
+            self.ready_cache.set(None);
         }
     }
 
@@ -99,11 +120,17 @@ impl DramModel for Ddr4Channel {
         let done = data_start + self.cfg.t_burst;
         bank.next_cas = cas + self.cfg.t_burst;
         self.bus_free = done;
+        self.ready_cache.set(None);
         (done, outcome)
     }
 
     fn next_ready(&self) -> Cycle {
-        self.banks.iter().map(|b| b.next_cas).min().unwrap_or(0).min(self.bus_free)
+        if let Some(v) = self.ready_cache.get() {
+            return v;
+        }
+        let v = self.banks.iter().map(|b| b.next_cas).min().unwrap_or(0).min(self.bus_free);
+        self.ready_cache.set(Some(v));
+        v
     }
 
     fn refreshes(&self) -> u64 {

@@ -25,6 +25,7 @@ use super::{DramModel, RefreshTimer, RowOutcome};
 use crate::addr::{PhysAddr, CACHELINE};
 use crate::config::DramConfig;
 use crate::Cycle;
+use std::cell::Cell;
 
 /// One DDR5 sub-channel.
 #[derive(Debug, Clone)]
@@ -36,6 +37,8 @@ pub struct Ddr5Channel {
     /// Last column command issued on this channel: (cycle, bank group).
     last_cas: Option<(Cycle, usize)>,
     refresh: RefreshTimer,
+    /// Memoised `next_ready`; cleared by `access`/`sync`.
+    ready_cache: Cell<Option<Cycle>>,
 }
 
 impl Ddr5Channel {
@@ -46,7 +49,15 @@ impl Ddr5Channel {
         assert!(cfg.banks.is_multiple_of(cfg.bank_groups), "banks must divide into bank groups");
         let banks = vec![Bank { open_row: None, next_cas: 0 }; cfg.banks];
         let refresh = RefreshTimer::new(cfg.t_refi, cfg.t_rfc);
-        Ddr5Channel { cfg, channels, banks, bus_free: 0, last_cas: None, refresh }
+        Ddr5Channel {
+            cfg,
+            channels,
+            banks,
+            bus_free: 0,
+            last_cas: None,
+            refresh,
+            ready_cache: Cell::new(None),
+        }
     }
 
     /// (bank index, row, bank group) for `addr`. Consecutive lines stripe
@@ -64,6 +75,22 @@ impl Ddr5Channel {
         let bank = group * banks_per_group as usize + bank_in_group as usize;
         (bank, row, group)
     }
+
+    /// `(bank_ready, is_row_hit)` with one address decode.
+    #[inline]
+    pub(crate) fn probe(&self, now: Cycle, addr: PhysAddr) -> (bool, bool) {
+        let (bank, row, _) = self.bank_row(addr);
+        let b = &self.banks[bank];
+        (b.next_cas <= now, b.open_row == Some(row))
+    }
+
+    pub(crate) fn refresh_due(&self, now: Cycle) -> bool {
+        self.refresh.due(now)
+    }
+
+    pub(crate) fn refresh_next(&self) -> Cycle {
+        self.refresh.next_due()
+    }
 }
 
 impl DramModel for Ddr5Channel {
@@ -74,6 +101,7 @@ impl DramModel for Ddr5Channel {
                 b.next_cas = b.next_cas.max(end);
             }
             self.bus_free = self.bus_free.max(end);
+            self.ready_cache.set(None);
         }
     }
 
@@ -113,11 +141,17 @@ impl DramModel for Ddr5Channel {
         bank.next_cas = cas + self.cfg.t_ccd_l.max(self.cfg.t_burst);
         self.bus_free = done;
         self.last_cas = Some((cas, group));
+        self.ready_cache.set(None);
         (done, outcome)
     }
 
     fn next_ready(&self) -> Cycle {
-        self.banks.iter().map(|b| b.next_cas).min().unwrap_or(0).min(self.bus_free)
+        if let Some(v) = self.ready_cache.get() {
+            return v;
+        }
+        let v = self.banks.iter().map(|b| b.next_cas).min().unwrap_or(0).min(self.bus_free);
+        self.ready_cache.set(Some(v));
+        v
     }
 
     fn refreshes(&self) -> u64 {
@@ -132,6 +166,7 @@ impl DramModel for Ddr5Channel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::MemTech;
 
     fn cfg() -> DramConfig {
         DramConfig {
@@ -144,7 +179,7 @@ mod tests {
             t_burst: 2,
             t_ccd_l: 6,
             t_refi: 0,
-            ..DramConfig::ddr5()
+            ..DramConfig::for_tech(MemTech::Ddr5)
         }
     }
 

@@ -20,6 +20,7 @@ use super::{DramModel, RefreshTimer, RowOutcome};
 use crate::addr::{PhysAddr, CACHELINE};
 use crate::config::DramConfig;
 use crate::Cycle;
+use std::cell::Cell;
 
 /// One pseudo-channel: a private bus fronting a private bank array.
 #[derive(Debug, Clone)]
@@ -35,6 +36,8 @@ pub struct HbmChannel {
     channels: usize,
     pcs: Vec<PseudoChannel>,
     refresh: RefreshTimer,
+    /// Memoised `next_ready`; cleared by `access`/`sync`.
+    ready_cache: Cell<Option<Cycle>>,
 }
 
 impl HbmChannel {
@@ -49,7 +52,7 @@ impl HbmChannel {
             })
             .collect();
         let refresh = RefreshTimer::new(cfg.t_refi, cfg.t_rfc);
-        HbmChannel { cfg, channels, pcs, refresh }
+        HbmChannel { cfg, channels, pcs, refresh, ready_cache: Cell::new(None) }
     }
 
     /// (pseudo-channel, bank, row) for `addr`: lines stripe across
@@ -63,6 +66,22 @@ impl HbmChannel {
         let row = pcline / lines_per_row / self.cfg.banks as u64;
         (pc, bank, row)
     }
+
+    /// `(bank_ready, is_row_hit)` with one address decode.
+    #[inline]
+    pub(crate) fn probe(&self, now: Cycle, addr: PhysAddr) -> (bool, bool) {
+        let (pc, bank, row) = self.locate(addr);
+        let b = &self.pcs[pc].banks[bank];
+        (b.next_cas <= now, b.open_row == Some(row))
+    }
+
+    pub(crate) fn refresh_due(&self, now: Cycle) -> bool {
+        self.refresh.due(now)
+    }
+
+    pub(crate) fn refresh_next(&self) -> Cycle {
+        self.refresh.next_due()
+    }
 }
 
 impl DramModel for HbmChannel {
@@ -75,6 +94,7 @@ impl DramModel for HbmChannel {
                 }
                 pc.bus_free = pc.bus_free.max(end);
             }
+            self.ready_cache.set(None);
         }
     }
 
@@ -110,17 +130,24 @@ impl DramModel for HbmChannel {
         let done = data_start + self.cfg.t_burst;
         bank.next_cas = cas + self.cfg.t_burst;
         pc.bus_free = done;
+        self.ready_cache.set(None);
         (done, outcome)
     }
 
     fn next_ready(&self) -> Cycle {
-        self.pcs
+        if let Some(v) = self.ready_cache.get() {
+            return v;
+        }
+        let v = self
+            .pcs
             .iter()
             .flat_map(|pc| {
                 pc.banks.iter().map(|b| b.next_cas).chain(std::iter::once(pc.bus_free))
             })
             .min()
-            .unwrap_or(0)
+            .unwrap_or(0);
+        self.ready_cache.set(Some(v));
+        v
     }
 
     fn refreshes(&self) -> u64 {
@@ -140,6 +167,7 @@ impl DramModel for HbmChannel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::MemTech;
 
     fn cfg() -> DramConfig {
         DramConfig {
@@ -151,7 +179,7 @@ mod tests {
             t_cl: 10,
             t_burst: 2,
             t_refi: 0,
-            ..DramConfig::hbm2()
+            ..DramConfig::for_tech(MemTech::Hbm2)
         }
     }
 

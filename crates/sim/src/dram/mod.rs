@@ -113,11 +113,156 @@ pub trait DramModel: std::fmt::Debug + Send {
 
 /// Build the backend selected by `cfg.tech`; `channels` is the system-wide
 /// channel count (for address mapping).
-pub fn build(cfg: &DramConfig, channels: usize) -> Box<dyn DramModel> {
+pub fn build(cfg: &DramConfig, channels: usize) -> DramBackend {
     match cfg.tech {
-        MemTech::Ddr4 => Box::new(Ddr4Channel::new(cfg.clone(), channels)),
-        MemTech::Ddr5 => Box::new(Ddr5Channel::new(cfg.clone(), channels)),
-        MemTech::Hbm2 => Box::new(HbmChannel::new(cfg.clone(), channels)),
+        MemTech::Ddr4 => DramBackend::Ddr4(Ddr4Channel::new(cfg.clone(), channels)),
+        MemTech::Ddr5 => DramBackend::Ddr5(Ddr5Channel::new(cfg.clone(), channels)),
+        MemTech::Hbm2 => DramBackend::Hbm2(HbmChannel::new(cfg.clone(), channels)),
+    }
+}
+
+/// Enum-dispatched channel backend: one variant per [`MemTech`].
+///
+/// The memory controller holds this instead of a `Box<dyn DramModel>` so
+/// the per-cycle timing checks (`bank_ready`, `is_row_hit`, `bus_ready`)
+/// that the FR-FCFS scheduler calls in a loop over its pending queues
+/// compile to direct, inlinable calls. The trait is still implemented on
+/// the enum, so code written against `DramModel` keeps working.
+#[derive(Debug, Clone)]
+pub enum DramBackend {
+    Ddr4(Ddr4Channel),
+    Ddr5(Ddr5Channel),
+    Hbm2(HbmChannel),
+}
+
+macro_rules! each_backend {
+    ($self:expr, $d:ident => $body:expr) => {
+        match $self {
+            DramBackend::Ddr4($d) => $body,
+            DramBackend::Ddr5($d) => $body,
+            DramBackend::Hbm2($d) => $body,
+        }
+    };
+}
+
+impl DramBackend {
+    #[inline]
+    pub fn sync(&mut self, now: Cycle) {
+        each_backend!(self, d => d.sync(now));
+    }
+
+    #[inline]
+    pub fn is_row_hit(&self, addr: PhysAddr) -> bool {
+        each_backend!(self, d => d.is_row_hit(addr))
+    }
+
+    #[inline]
+    pub fn bank_ready(&self, now: Cycle, addr: PhysAddr) -> bool {
+        each_backend!(self, d => d.bank_ready(now, addr))
+    }
+
+    /// `(bank_ready, is_row_hit)` for `addr` with a single address decode
+    /// — the FR-FCFS queue scans need both per candidate, and the decode
+    /// (two divisions) dominates the check itself.
+    #[inline]
+    pub fn probe(&self, now: Cycle, addr: PhysAddr) -> (bool, bool) {
+        each_backend!(self, d => d.probe(now, addr))
+    }
+
+    #[inline]
+    pub fn bus_ready(&self, now: Cycle) -> bool {
+        each_backend!(self, d => d.bus_ready(now))
+    }
+
+    #[inline]
+    pub fn access(&mut self, now: Cycle, addr: PhysAddr) -> (Cycle, RowOutcome) {
+        each_backend!(self, d => d.access(now, addr))
+    }
+
+    #[inline]
+    pub fn next_ready(&self) -> Cycle {
+        each_backend!(self, d => DramModel::next_ready(d))
+    }
+
+    #[inline]
+    pub fn refreshes(&self) -> u64 {
+        each_backend!(self, d => d.refreshes())
+    }
+
+    #[inline]
+    pub fn bus_of(&self, addr: PhysAddr) -> usize {
+        each_backend!(self, d => d.bus_of(addr))
+    }
+
+    #[inline]
+    pub fn bank_of(&self, addr: PhysAddr) -> usize {
+        each_backend!(self, d => d.bank_of(addr))
+    }
+
+    /// Whether a refresh window has opened that [`Self::sync`] has not yet
+    /// applied — i.e. whether `sync(now)` would change channel state. Used
+    /// by the event-driven scheduler: an otherwise-idle controller must
+    /// still tick to apply elapsed windows at the same cycle the per-tick
+    /// scheduler would.
+    #[inline]
+    pub fn refresh_due(&self, now: Cycle) -> bool {
+        each_backend!(self, d => d.refresh_due(now))
+    }
+
+    /// First cycle at which [`Self::refresh_due`] will turn true
+    /// ([`Cycle::MAX`] when refresh is disabled) — wake-up hint for the
+    /// event-driven scheduler's cached controller readiness.
+    #[inline]
+    pub fn refresh_next(&self) -> Cycle {
+        each_backend!(self, d => d.refresh_next())
+    }
+}
+
+impl DramModel for DramBackend {
+    fn sync(&mut self, now: Cycle) {
+        DramBackend::sync(self, now);
+    }
+    fn is_row_hit(&self, addr: PhysAddr) -> bool {
+        DramBackend::is_row_hit(self, addr)
+    }
+    fn bank_ready(&self, now: Cycle, addr: PhysAddr) -> bool {
+        DramBackend::bank_ready(self, now, addr)
+    }
+    fn bus_ready(&self, now: Cycle) -> bool {
+        DramBackend::bus_ready(self, now)
+    }
+    fn access(&mut self, now: Cycle, addr: PhysAddr) -> (Cycle, RowOutcome) {
+        DramBackend::access(self, now, addr)
+    }
+    fn next_ready(&self) -> Cycle {
+        DramBackend::next_ready(self)
+    }
+    fn refreshes(&self) -> u64 {
+        DramBackend::refreshes(self)
+    }
+    fn bus_of(&self, addr: PhysAddr) -> usize {
+        DramBackend::bus_of(self, addr)
+    }
+    fn bank_of(&self, addr: PhysAddr) -> usize {
+        DramBackend::bank_of(self, addr)
+    }
+}
+
+impl From<Ddr4Channel> for DramBackend {
+    fn from(d: Ddr4Channel) -> DramBackend {
+        DramBackend::Ddr4(d)
+    }
+}
+
+impl From<Ddr5Channel> for DramBackend {
+    fn from(d: Ddr5Channel) -> DramBackend {
+        DramBackend::Ddr5(d)
+    }
+}
+
+impl From<HbmChannel> for DramBackend {
+    fn from(d: HbmChannel) -> DramBackend {
+        DramBackend::Hbm2(d)
     }
 }
 
@@ -148,6 +293,23 @@ impl RefreshTimer {
         self.next += self.t_refi;
         self.count += 1;
         Some(end)
+    }
+
+    /// Whether a window has opened by `now` that has not been popped yet
+    /// (i.e. whether `pop_due(now)` would return `Some`).
+    pub(crate) fn due(&self, now: Cycle) -> bool {
+        self.t_refi != 0 && now >= self.next
+    }
+
+    /// Cycle at which the next unapplied window opens — the first `now`
+    /// for which [`Self::due`] turns true ([`Cycle::MAX`] when refresh is
+    /// disabled). Scheduling hint for the event-driven tick loop.
+    pub(crate) fn next_due(&self) -> Cycle {
+        if self.t_refi == 0 {
+            Cycle::MAX
+        } else {
+            self.next
+        }
     }
 
     pub(crate) fn count(&self) -> u64 {

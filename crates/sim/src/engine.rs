@@ -125,6 +125,16 @@ pub trait CopyEngine: std::fmt::Debug {
         let _ = (now, mcid, io);
     }
 
+    /// Whether [`CopyEngine::tick`] could do any work for controller
+    /// `mcid` right now. The event-driven scheduler only elides a
+    /// controller's tick when this is false, so the default errs towards
+    /// `true`; engines whose `tick` is a no-op (or conditional on state
+    /// they can inspect cheaply) should override it.
+    fn needs_tick(&self, mcid: usize) -> bool {
+        let _ = mcid;
+        true
+    }
+
     /// True while the engine has in-flight work; keeps the simulation
     /// alive during quiescence detection.
     fn busy(&self) -> bool {
@@ -209,6 +219,10 @@ impl CopyEngine for NullEngine {
         _io: &mut EngineIo,
     ) {
         unreachable!("NullEngine never issues DRAM reads");
+    }
+
+    fn needs_tick(&self, _mcid: usize) -> bool {
+        false
     }
 }
 

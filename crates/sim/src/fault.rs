@@ -139,16 +139,11 @@ impl FaultPlan {
             && self.ctt_drop_rate <= 0.0
     }
 
-    /// The plan the `MCS_FAULTS` environment variable asks for: the empty
-    /// plan by default, [`FaultPlan::mild`] with a fixed seed when
-    /// `MCS_FAULTS=1` (CI's adversarial test pass, mirroring
-    /// [`crate::config::refresh_env`]).
+    /// The plan the process-wide options carry (historically the
+    /// `MCS_FAULTS` environment variable: CI's adversarial test pass).
+    #[deprecated(note = "use sim_options().fault")]
     pub fn from_env() -> FaultPlan {
-        if matches!(std::env::var("MCS_FAULTS").as_deref(), Ok("1") | Ok("true")) {
-            FaultPlan::mild(0xFA17)
-        } else {
-            FaultPlan::none()
-        }
+        crate::config::sim_options().fault
     }
 
     /// A decision stream for `domain` (see [`domain`]) at `lane` (e.g. the

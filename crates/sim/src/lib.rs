@@ -67,4 +67,4 @@ pub type Cycle = u64;
 pub use addr::{LineAddr, PhysAddr, CACHELINE};
 pub use config::SystemConfig;
 pub use data::{LineData, SparseMem};
-pub use system::System;
+pub use system::{SchedMode, System};

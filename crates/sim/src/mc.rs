@@ -3,7 +3,7 @@
 
 use crate::config::McConfig;
 use crate::data::{LineData, SparseMem};
-use crate::dram::{DramModel, RowOutcome};
+use crate::dram::{DramBackend, RowOutcome};
 use crate::engine::{CopyEngine, EngineIo, Verdict};
 use crate::fault::{domain, FaultPlan, FaultStream};
 use crate::link::DelayQueue;
@@ -100,7 +100,7 @@ pub struct MemCtrl {
     /// Controller index (== channel index).
     pub id: usize,
     cfg: McConfig,
-    dram: Box<dyn DramModel>,
+    dram: DramBackend,
     rpq: VecDeque<RpqEntry>,
     wpq: VecDeque<WpqEntry>,
     inflight: Vec<Inflight>,
@@ -129,7 +129,7 @@ const AUDIT_CAP: usize = 32;
 
 impl MemCtrl {
     /// Create controller `id` with the given queue config and channel model.
-    pub fn new(id: usize, cfg: McConfig, dram: Box<dyn DramModel>) -> MemCtrl {
+    pub fn new(id: usize, cfg: McConfig, dram: DramBackend) -> MemCtrl {
         MemCtrl {
             id,
             cfg,
@@ -206,6 +206,45 @@ impl MemCtrl {
             hint = Some(hint.map_or(d, |h| h.min(d)));
         }
         hint
+    }
+
+    /// Whether ticking this controller at `now` could change any state:
+    /// the event-driven scheduler's per-component readiness check. Input
+    /// deliverability is the caller's side of the predicate (the input
+    /// queue lives in the interconnect), and engine background work is
+    /// covered by [`CopyEngine::needs_tick`]. Pending refresh windows
+    /// count as work so `sync` applies them — and the trace layer stamps
+    /// them — at the same cycle a per-tick scheduler would.
+    pub fn has_pending_work(&self, now: Cycle) -> bool {
+        !self.retry_q.is_empty()
+            || !self.engine_fwd.is_empty()
+            || !self.rpq.is_empty()
+            || !self.wpq.is_empty()
+            || self.inflight.iter().any(|f| f.done <= now)
+            || self.dram.refresh_due(now)
+    }
+
+    /// Cached-readiness form of [`Self::has_pending_work`]: `None` means
+    /// the controller has immediate work and must tick every cycle;
+    /// `Some(wake)` means it has nothing to do before cycle `wake` (the
+    /// earliest in-flight completion or refresh window, [`Cycle::MAX`] if
+    /// neither is pending). Valid until the controller next ticks — all
+    /// controller state mutates only inside [`Self::tick`], and input
+    /// arrival is the caller's side of the predicate.
+    pub fn readiness(&self) -> Option<Cycle> {
+        if !self.retry_q.is_empty()
+            || !self.engine_fwd.is_empty()
+            || !self.rpq.is_empty()
+            || !self.wpq.is_empty()
+        {
+            return None;
+        }
+        let wake = self
+            .inflight
+            .iter()
+            .map(|f| f.done)
+            .fold(self.dram.refresh_next(), Cycle::min);
+        Some(wake)
     }
 
     /// Current WPQ occupancy as (len, capacity).
@@ -584,20 +623,35 @@ impl MemCtrl {
         // FR-FCFS-lite with demand priority: engine reads (lazy-copy
         // drains) only issue when no demand read is ready, bounding their
         // bandwidth interference (§III-A1 limits outstanding asynchronous
-        // copies for the same reason).
-        let is_demand = |e: &RpqEntry| matches!(e.origin, ReadOrigin::Llc(_));
-        let ready = |e: &RpqEntry| self.dram.bank_ready(now, e.addr);
-        let pick = self
-            .rpq
-            .iter()
-            .position(|e| is_demand(e) && ready(e) && self.dram.is_row_hit(e.addr))
-            .or_else(|| self.rpq.iter().position(|e| is_demand(e) && ready(e)))
-            .or_else(|| {
-                self.rpq
-                    .iter()
-                    .position(|e| ready(e) && self.dram.is_row_hit(e.addr))
-            })
-            .or_else(|| self.rpq.iter().position(ready));
+        // copies for the same reason). One pass records the first entry in
+        // each priority class (demand row-hit > demand > row-hit > ready),
+        // probing each candidate's bank exactly once.
+        let mut demand_ready = None;
+        let mut any_hit = None;
+        let mut any_ready = None;
+        let mut pick = None;
+        for (i, e) in self.rpq.iter().enumerate() {
+            let (ready, hit) = self.dram.probe(now, e.addr);
+            if !ready {
+                continue;
+            }
+            if matches!(e.origin, ReadOrigin::Llc(_)) {
+                if hit {
+                    pick = Some(i); // top class: first match wins outright
+                    break;
+                }
+                if demand_ready.is_none() {
+                    demand_ready = Some(i);
+                }
+            } else if hit {
+                if any_hit.is_none() {
+                    any_hit = Some(i);
+                }
+            } else if any_ready.is_none() {
+                any_ready = Some(i);
+            }
+        }
+        let pick = pick.or(demand_ready).or(any_hit).or(any_ready);
         let Some(idx) = pick else { return false };
         let e = self.rpq.remove(idx).expect("index valid");
         let (mut done, outcome) = self.dram.access(now, e.addr);
@@ -646,11 +700,23 @@ impl MemCtrl {
     }
 
     fn issue_write(&mut self, now: Cycle, mem: &mut SparseMem) -> bool {
-        let pick = self
-            .wpq
-            .iter()
-            .position(|e| self.dram.bank_ready(now, e.addr) && self.dram.is_row_hit(e.addr))
-            .or_else(|| self.wpq.iter().position(|e| self.dram.bank_ready(now, e.addr)));
+        // One pass: first ready row-hit wins, else first ready entry.
+        let mut any_ready = None;
+        let mut pick = None;
+        for (i, e) in self.wpq.iter().enumerate() {
+            let (ready, hit) = self.dram.probe(now, e.addr);
+            if !ready {
+                continue;
+            }
+            if hit {
+                pick = Some(i);
+                break;
+            }
+            if any_ready.is_none() {
+                any_ready = Some(i);
+            }
+        }
+        let pick = pick.or(any_ready);
         let Some(idx) = pick else { return false };
         let e = self.wpq.remove(idx).expect("index valid");
         let (done, outcome) = self.dram.access(now, e.addr);
@@ -712,7 +778,7 @@ mod tests {
             },
             1,
         );
-        let mc = MemCtrl::new(0, McConfig::default(), Box::new(dram));
+        let mc = MemCtrl::new(0, McConfig::default(), dram.into());
         (mc, DelayQueue::new(0), SparseMem::new(), NullEngine)
     }
 

@@ -46,7 +46,7 @@ impl StallReason {
 }
 
 /// Per-core statistics.
-#[derive(Clone, Default, Debug, Serialize, Deserialize)]
+#[derive(Clone, Default, Debug, PartialEq, Serialize, Deserialize)]
 pub struct CoreStats {
     /// Total cycles this core was live (first fetch to completion).
     pub cycles: u64,
@@ -95,6 +95,16 @@ impl CoreStats {
         self.stalled_cycles += 1;
     }
 
+    /// Record `n` stall cycles with one reason at once (batched idle
+    /// accounting). Keeps the `stalled_cycles == Σ stalls` ledger intact.
+    pub fn bump_stall_n(&mut self, r: StallReason, n: u64) {
+        if n == 0 {
+            return;
+        }
+        *self.stalls.entry(r).or_insert(0) += n;
+        self.stalled_cycles += n;
+    }
+
     /// Sum of the per-reason stall histogram.
     pub fn total_stalls(&self) -> u64 {
         self.stalls.values().sum()
@@ -122,7 +132,7 @@ impl CoreStats {
 }
 
 /// Per-cache statistics.
-#[derive(Clone, Default, Debug, Serialize, Deserialize)]
+#[derive(Clone, Default, Debug, PartialEq, Serialize, Deserialize)]
 pub struct CacheStats {
     pub hits: u64,
     pub misses: u64,
@@ -146,7 +156,7 @@ impl CacheStats {
 }
 
 /// Per-memory-controller statistics.
-#[derive(Clone, Default, Debug, Serialize, Deserialize)]
+#[derive(Clone, Default, Debug, PartialEq, Serialize, Deserialize)]
 pub struct McStats {
     pub reads: u64,
     pub writes: u64,
@@ -210,7 +220,7 @@ impl McStats {
 }
 
 /// Statistics of one full run.
-#[derive(Clone, Default, Debug, Serialize, Deserialize)]
+#[derive(Clone, Default, Debug, PartialEq, Serialize, Deserialize)]
 pub struct RunStats {
     /// Simulated cycles until all programs finished (and queues drained).
     pub cycles: u64,

@@ -99,6 +99,41 @@ impl std::fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
+/// How the run loop advances simulated time. All three modes execute the
+/// same architectural events at the same cycles; they differ only in how
+/// much per-cycle work is provably elidable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedMode {
+    /// Execute every component on every cycle, never skipping ahead.
+    /// Slowest; useful for debugging the schedulers themselves.
+    TickByTick,
+    /// Execute every component on every *executed* cycle, jumping over
+    /// cycles only when the whole machine is provably idle (the legacy
+    /// scheduler).
+    Conservative,
+    /// Execute the same cycle set as [`SchedMode::Conservative`], but
+    /// within each executed cycle skip components that provably cannot
+    /// act, batching their idle accounting. The default.
+    EventDriven,
+}
+
+/// Cached readiness of a component, valid until it next executes: all
+/// scheduling-relevant state of a core mutates only inside its own phase
+/// (inbox arrival is covered separately by a queue peek), so the verdict
+/// computed right after an execution holds for every elided cycle since.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Readiness {
+    /// Has immediate internal work: must execute every cycle.
+    Active,
+    /// Nothing to do before this cycle (`Cycle::MAX` = only external
+    /// input can wake it).
+    WakeAt(Cycle),
+    /// The core ran its program to completion: never self-wakes and its
+    /// elided cycles are not idle-accounted (a finished core's tick is a
+    /// no-op, not a stall).
+    Finished,
+}
+
 /// A complete simulated machine.
 pub struct System {
     cfg: SystemConfig,
@@ -118,7 +153,25 @@ pub struct System {
     /// by stalled requests, which would deadlock the directory.
     l1_to_llc_resp: Vec<DelayQueue<L1ToLlc>>,
     llc_to_l1: Vec<DelayQueue<LlcToL1>>,
-    fast_forward: bool,
+    sched: SchedMode,
+    /// Executed cycles during which core `i` was elided but not yet
+    /// accounted (flushed before the core next runs, and at run exit).
+    idle_pending: Vec<u64>,
+    /// First cycle of core `i`'s current elision streak.
+    idle_first: Vec<Cycle>,
+    /// Cached per-core readiness, recomputed after each execution of the
+    /// core's phase. `Active` is the safe reset value (never elides).
+    core_ready: Vec<Readiness>,
+    /// Cached per-controller readiness (never `Finished`); engine
+    /// background work is probed fresh each cycle via `needs_tick`, since
+    /// engine state is shared across controllers.
+    mc_ready: Vec<Readiness>,
+    /// Per-phase output buffers, reused across cycles so the hot loop
+    /// allocates nothing once capacities have warmed up.
+    scratch_core: CoreOut,
+    scratch_l1: L1Out,
+    scratch_llc: LlcOut,
+    scratch_mc: Vec<(crate::packet::Packet, Cycle)>,
     /// Interconnect fault streams (None ⇔ empty plan).
     link_fault: Option<LinkFaults>,
     #[cfg(feature = "check-invariants")]
@@ -204,7 +257,15 @@ impl System {
             l1_to_llc: mk(n, cfg.links.l1_llc),
             l1_to_llc_resp: mk(n, cfg.links.l1_llc),
             llc_to_l1: mk(n, cfg.links.l1_llc),
-            fast_forward: true,
+            sched: SchedMode::EventDriven,
+            idle_pending: vec![0; n],
+            idle_first: vec![0; n],
+            core_ready: vec![Readiness::Active; n],
+            mc_ready: vec![Readiness::Active; cfg.channels],
+            scratch_core: CoreOut::default(),
+            scratch_l1: L1Out::default(),
+            scratch_llc: LlcOut::default(),
+            scratch_mc: Vec::new(),
             link_fault,
             #[cfg(feature = "check-invariants")]
             checker: crate::check::Checker::default(),
@@ -245,8 +306,21 @@ impl System {
     }
 
     /// Disable idle skip-ahead (for debugging; results are identical).
+    /// `false` selects [`SchedMode::TickByTick`]; `true` restores the
+    /// default [`SchedMode::EventDriven`].
     pub fn set_fast_forward(&mut self, on: bool) {
-        self.fast_forward = on;
+        self.sched = if on { SchedMode::EventDriven } else { SchedMode::TickByTick };
+    }
+
+    /// Select the run-loop scheduler (see [`SchedMode`]). All modes
+    /// produce identical architectural results.
+    pub fn set_sched_mode(&mut self, mode: SchedMode) {
+        self.sched = mode;
+    }
+
+    /// The currently selected run-loop scheduler.
+    pub fn sched_mode(&self) -> SchedMode {
+        self.sched
     }
 
     /// Write bytes directly into simulated DRAM, bypassing timing
@@ -284,106 +358,212 @@ impl System {
         out
     }
 
-    /// Advance one cycle.
+    /// Advance one cycle, ticking every component unconditionally.
     pub fn tick(&mut self) {
+        // A caller may interleave manual ticks with event-driven runs:
+        // settle any batched idle accounting before executing everything,
+        // and drop the cached readiness verdicts (`Active` never elides).
+        self.flush_idle();
+        self.reset_readiness();
+        let now = self.now;
+        for i in 0..self.cores.len() {
+            self.phase_core(now, i);
+        }
+        for i in 0..self.l1s.len() {
+            self.phase_l1(now, i);
+        }
+        self.phase_llc(now);
+        for i in 0..self.mcs.len() {
+            self.phase_mc(now, i);
+        }
+        self.tick_epilogue(now);
+    }
+
+    /// Advance one cycle, skipping components that provably cannot act.
+    /// Executes exactly the same architectural events as [`System::tick`]
+    /// at this cycle; elided cores have their per-cycle accounting batched
+    /// and replayed by [`Core::account_idle`] before they next run.
+    fn tick_event(&mut self) {
         let now = self.now;
 
-        // 1. Cores: consume L1 responses, then advance.
+        // 1. Cores. A core can act only when its inbox has a deliverable
+        //    response, it has internal work, or an internal timer (compute
+        //    completion, delayed load issue) has matured. The cached
+        //    verdict makes the elided-cycle check O(1).
         for i in 0..self.cores.len() {
-            while let Some(msg) = self.l1_to_core[i].pop(now) {
-                self.cores[i].handle_l1(now, msg);
+            let ready = match self.core_ready[i] {
+                Readiness::Active => true,
+                Readiness::WakeAt(w) => w <= now,
+                Readiness::Finished => false,
+            };
+            if !ready && self.l1_to_core[i].peek(now).is_none() {
+                if self.core_ready[i] != Readiness::Finished {
+                    if self.idle_pending[i] == 0 {
+                        self.idle_first[i] = now;
+                    }
+                    self.idle_pending[i] += 1;
+                }
+                continue;
             }
-            let mut out = CoreOut::default();
-            self.cores[i].tick(now, &mut out);
-            for m in out.to_l1 {
-                self.core_to_l1[i].push(now, m);
+            self.flush_idle_core(i);
+            self.phase_core(now, i);
+            let c = &self.cores[i];
+            self.core_ready[i] = if c.finished() {
+                Readiness::Finished
+            } else if c.has_internal_work() {
+                Readiness::Active
+            } else {
+                Readiness::WakeAt(c.next_event().unwrap_or(Cycle::MAX))
+            };
+        }
+
+        // 2. L1s are purely message-driven: no input, no work.
+        for i in 0..self.l1s.len() {
+            if self.llc_to_l1[i].peek(now).is_some() || self.core_to_l1[i].peek(now).is_some() {
+                self.phase_l1(now, i);
             }
         }
 
-        // 2. L1s: consume LLC messages, then core requests (with flow
-        //    control), producing core responses and LLC requests.
-        for i in 0..self.l1s.len() {
-            let mut out = L1Out::default();
-            while let Some(msg) = self.llc_to_l1[i].pop(now) {
-                self.l1s[i].handle_llc(now, msg, &mut out);
+        // 3. LLC: deferred replays or any deliverable input.
+        if self.llc.has_retries()
+            || self.bus.to_llc.peek(now).is_some()
+            || self.l1_to_llc.iter().any(|q| q.peek(now).is_some())
+            || self.l1_to_llc_resp.iter().any(|q| q.peek(now).is_some())
+        {
+            self.phase_llc(now);
+        }
+
+        // 4. MCs: deliverable input, queued/in-flight work, a due refresh
+        //    window, or engine background work. The cached readiness covers
+        //    controller-internal state (valid until the controller next
+        //    ticks); `needs_tick` is probed fresh every cycle because the
+        //    engine's state is shared and another controller's phase may
+        //    have changed it. Refresh windows count as work so `sync`
+        //    applies them (and stats/trace see them) at exactly the cycles
+        //    the full tick would.
+        for i in 0..self.mcs.len() {
+            let ready = match self.mc_ready[i] {
+                Readiness::Active => true,
+                Readiness::WakeAt(w) => w <= now,
+                Readiness::Finished => unreachable!("controllers never finish"),
+            };
+            if ready || self.bus.to_mc[i].peek(now).is_some() || self.engine.needs_tick(i) {
+                self.phase_mc(now, i);
+                self.mc_ready[i] = match self.mcs[i].readiness() {
+                    None => Readiness::Active,
+                    Some(w) => Readiness::WakeAt(w),
+                };
             }
+        }
+
+        self.tick_epilogue(now);
+    }
+
+    /// Phase 1 for core `i`: consume L1 responses, then advance.
+    fn phase_core(&mut self, now: Cycle, i: usize) {
+        while let Some(msg) = self.l1_to_core[i].pop(now) {
+            self.cores[i].handle_l1(now, msg);
+        }
+        let mut out = std::mem::take(&mut self.scratch_core);
+        self.cores[i].tick(now, &mut out);
+        for m in out.to_l1.drain(..) {
+            self.core_to_l1[i].push(now, m);
+        }
+        self.scratch_core = out;
+    }
+
+    /// Phase 2 for L1 `i`: consume LLC messages, then core requests (with
+    /// flow control), producing core responses and LLC requests.
+    fn phase_l1(&mut self, now: Cycle, i: usize) {
+        let mut out = std::mem::take(&mut self.scratch_l1);
+        while let Some(msg) = self.llc_to_l1[i].pop(now) {
+            self.l1s[i].handle_llc(now, msg, &mut out);
+        }
+        for _ in 0..8 {
+            let Some(msg) = self.core_to_l1[i].peek(now) else { break };
+            let msg = msg.clone();
+            if self.l1s[i].handle_core(now, &msg, &mut out) {
+                let _ = self.core_to_l1[i].pop(now);
+            } else {
+                break;
+            }
+        }
+        for (m, extra) in out.to_core.drain(..) {
+            self.l1_to_core[i].push_after(now, extra, m);
+        }
+        for m in out.to_llc.drain(..) {
+            // Route by virtual network: responses must never queue
+            // behind a blocked request.
+            match m {
+                L1ToLlc::RecallAck { .. } | L1ToLlc::InvalAck { .. } | L1ToLlc::PutM { .. } => {
+                    self.l1_to_llc_resp[i].push(now, m)
+                }
+                other => self.l1_to_llc[i].push(now, other),
+            }
+        }
+        self.scratch_l1 = out;
+    }
+
+    /// Phase 3: LLC replays deferred work, consumes L1 requests (performing
+    /// the MCLAZY snoop where needed), consumes memory responses.
+    fn phase_llc(&mut self, now: Cycle) {
+        let mut out = std::mem::take(&mut self.scratch_llc);
+        // Responses first: they are always accepted and unblock MSHRs.
+        for i in 0..self.l1_to_llc_resp.len() {
+            while let Some(msg) = self.l1_to_llc_resp[i].pop(now) {
+                let accepted = self.llc.handle_l1(now, msg, &mut out);
+                debug_assert!(accepted, "responses are always accepted");
+            }
+        }
+        self.llc.begin_cycle(now, &mut out);
+        for i in 0..self.l1_to_llc.len() {
             for _ in 0..8 {
-                let Some(msg) = self.core_to_l1[i].peek(now) else { break };
-                let msg = msg.clone();
-                if self.l1s[i].handle_core(now, &msg, &mut out) {
-                    let _ = self.core_to_l1[i].pop(now);
+                let Some(msg) = self.l1_to_llc[i].peek(now) else { break };
+                if let L1ToLlc::Mclazy { desc, .. } = msg {
+                    let desc = *desc;
+                    let queues: Vec<&DelayQueue<L1ToLlc>> = self
+                        .l1_to_llc_resp
+                        .iter()
+                        .collect();
+                    Self::snoop_mclazy(&mut self.l1s, &mut self.llc, &queues, desc, &mut out);
+                }
+                let msg = self.l1_to_llc[i].peek(now).expect("still there").clone();
+                if self.llc.handle_l1(now, msg, &mut out) {
+                    let _ = self.l1_to_llc[i].pop(now);
                 } else {
                     break;
                 }
             }
-            for (m, extra) in out.to_core {
-                self.l1_to_core[i].push_after(now, extra, m);
-            }
-            for m in out.to_llc {
-                // Route by virtual network: responses must never queue
-                // behind a blocked request.
-                match m {
-                    L1ToLlc::RecallAck { .. } | L1ToLlc::InvalAck { .. } | L1ToLlc::PutM { .. } => {
-                        self.l1_to_llc_resp[i].push(now, m)
-                    }
-                    other => self.l1_to_llc[i].push(now, other),
-                }
-            }
         }
+        while let Some(pkt) = self.bus.to_llc.pop(now) {
+            self.llc.handle_pkt(now, pkt, &mut out);
+        }
+        for (l1, m, extra) in out.to_l1.drain(..) {
+            self.llc_to_l1[l1].push_after(now, extra, m);
+        }
+        for (pkt, extra) in out.to_bus.drain(..) {
+            self.send_bus(now, pkt, extra);
+        }
+        self.scratch_llc = out;
+    }
 
-        // 3. LLC: replay deferred work, consume L1 requests (performing the
-        //    MCLAZY snoop where needed), consume memory responses.
-        {
-            let mut out = LlcOut::default();
-            // Responses first: they are always accepted and unblock MSHRs.
-            for i in 0..self.l1_to_llc_resp.len() {
-                while let Some(msg) = self.l1_to_llc_resp[i].pop(now) {
-                    let accepted = self.llc.handle_l1(now, msg, &mut out);
-                    debug_assert!(accepted, "responses are always accepted");
-                }
-            }
-            self.llc.begin_cycle(now, &mut out);
-            for i in 0..self.l1_to_llc.len() {
-                for _ in 0..8 {
-                    let Some(msg) = self.l1_to_llc[i].peek(now) else { break };
-                    if let L1ToLlc::Mclazy { desc, .. } = msg {
-                        let desc = *desc;
-                        let queues: Vec<&DelayQueue<L1ToLlc>> = self
-                            .l1_to_llc_resp
-                            .iter()
-                            .collect();
-                        Self::snoop_mclazy(&mut self.l1s, &mut self.llc, &queues, desc, &mut out);
-                    }
-                    let msg = self.l1_to_llc[i].peek(now).expect("still there").clone();
-                    if self.llc.handle_l1(now, msg, &mut out) {
-                        let _ = self.l1_to_llc[i].pop(now);
-                    } else {
-                        break;
-                    }
-                }
-            }
-            while let Some(pkt) = self.bus.to_llc.pop(now) {
-                self.llc.handle_pkt(now, pkt, &mut out);
-            }
-            for (l1, m, extra) in out.to_l1 {
-                self.llc_to_l1[l1].push_after(now, extra, m);
-            }
-            for (pkt, extra) in out.to_bus {
-                self.send_bus(now, pkt, extra);
-            }
+    /// Phase 4 for memory controller `i`.
+    fn phase_mc(&mut self, now: Cycle, i: usize) {
+        let mut out = std::mem::take(&mut self.scratch_mc);
+        // Split-borrow: temporarily take the input queue.
+        let mut input = std::mem::replace(&mut self.bus.to_mc[i], DelayQueue::new(0));
+        self.mcs[i].tick(now, &mut input, self.engine.as_mut(), &mut self.mem, &mut out);
+        self.bus.to_mc[i] = input;
+        for (pkt, extra) in out.drain(..) {
+            self.send_bus(now, pkt, extra);
         }
+        self.scratch_mc = out;
+    }
 
-        // 4. Memory controllers.
-        for i in 0..self.mcs.len() {
-            let mut out = Vec::new();
-            // Split-borrow: temporarily take the input queue.
-            let mut input = std::mem::replace(&mut self.bus.to_mc[i], DelayQueue::new(0));
-            self.mcs[i].tick(now, &mut input, self.engine.as_mut(), &mut self.mem, &mut out);
-            self.bus.to_mc[i] = input;
-            for (pkt, extra) in out {
-                self.send_bus(now, pkt, extra);
-            }
-        }
+    /// End of an executed cycle: periodic invariant checks, trace samples,
+    /// and the clock edge.
+    fn tick_epilogue(&mut self, now: Cycle) {
+        let _ = now;
 
         #[cfg(feature = "check-invariants")]
         {
@@ -397,6 +577,30 @@ impl System {
         self.trace_sample(now);
 
         self.now += 1;
+    }
+
+    /// Replay core `i`'s batched idle accounting (no-op when none).
+    fn flush_idle_core(&mut self, i: usize) {
+        let k = self.idle_pending[i];
+        if k > 0 {
+            self.idle_pending[i] = 0;
+            self.cores[i].account_idle(k, self.idle_first[i]);
+        }
+    }
+
+    /// Replay all cores' batched idle accounting (run exits, mode mixes).
+    fn flush_idle(&mut self) {
+        for i in 0..self.cores.len() {
+            self.flush_idle_core(i);
+        }
+    }
+
+    /// Invalidate all cached readiness verdicts. Called whenever component
+    /// state may have changed outside the event-driven loop's own phases
+    /// (manual ticks, run entry after external setters).
+    fn reset_readiness(&mut self) {
+        self.core_ready.fill(Readiness::Active);
+        self.mc_ready.fill(Readiness::Active);
     }
 
     /// Push one interval sample per memory controller into the armed
@@ -615,8 +819,14 @@ impl System {
         let mut stable = 0u32;
         let mut last_metric = self.progress_metric();
         let mut idle_ticks: Cycle = 0;
+        // External setters (fault plans, mode switches) may have touched
+        // component state since the last run: start from a clean slate.
+        self.reset_readiness();
         while self.now - start < max_cycles {
-            self.tick();
+            match self.sched {
+                SchedMode::EventDriven => self.tick_event(),
+                _ => self.tick(),
+            }
             if let Some(window) = watchdog {
                 let m = self.progress_metric();
                 if m != last_metric {
@@ -625,6 +835,7 @@ impl System {
                 } else {
                     idle_ticks += 1;
                     if idle_ticks >= window && !self.all_done() {
+                        self.flush_idle();
                         return Err(SimError::Livelock {
                             at: self.now,
                             idle_for: idle_ticks,
@@ -639,6 +850,7 @@ impl System {
                 // A few grace ticks so posted work settles, then stop.
                 stable += 1;
                 if stable >= 2 {
+                    self.flush_idle();
                     #[cfg(feature = "check-invariants")]
                     self.validate_invariants(true);
                     return Ok(self.collect_stats());
@@ -646,34 +858,51 @@ impl System {
             } else {
                 stable = 0;
                 // Conservative idle skip: every core is stalled on external
-                // events, and those events are all in the future.
-                if self.fast_forward {
+                // events, and those events are all in the future. The cheap
+                // all-cores-inactive gate runs first so configurations that
+                // cannot skip (an active core) never pay for the link scan.
+                // Under the event-driven scheduler the cached verdicts give
+                // the same answer in O(cores): a core is `Active` exactly
+                // when it had internal work at its last execution, and that
+                // cannot change while it is elided.
+                let cores_inactive = match self.sched {
+                    SchedMode::TickByTick => false,
+                    SchedMode::EventDriven => {
+                        self.core_ready.iter().all(|r| *r != Readiness::Active)
+                    }
+                    SchedMode::Conservative => self
+                        .cores
+                        .iter()
+                        .enumerate()
+                        .all(|(i, c)| self.idle_pending[i] > 0 || c.finished() || !c_active(c)),
+                };
+                if cores_inactive {
                     if let Some(target) = self.skip_target() {
-                        if self.cores.iter().all(|c| c.finished() || !c_active(c)) {
-                            // With the watchdog armed, a skip of a whole
-                            // observation window means nothing in the
-                            // machine can act for `window` cycles while
-                            // work is outstanding (e.g. an injected stall
-                            // parked traffic inside a controller): that is
-                            // a livelock, not a wait — report it rather
-                            // than silently jumping over it.
-                            if let Some(window) = watchdog {
-                                if target.saturating_sub(self.now) >= window {
-                                    return Err(SimError::Livelock {
-                                        at: self.now,
-                                        idle_for: target - self.now,
-                                        unfinished: self.unfinished_cores(),
-                                        mc_queues: self.mc_queue_snapshot(),
-                                        cores: self.core_snapshot(),
-                                    });
-                                }
+                        // With the watchdog armed, a skip of a whole
+                        // observation window means nothing in the
+                        // machine can act for `window` cycles while
+                        // work is outstanding (e.g. an injected stall
+                        // parked traffic inside a controller): that is
+                        // a livelock, not a wait — report it rather
+                        // than silently jumping over it.
+                        if let Some(window) = watchdog {
+                            if target.saturating_sub(self.now) >= window {
+                                self.flush_idle();
+                                return Err(SimError::Livelock {
+                                    at: self.now,
+                                    idle_for: target - self.now,
+                                    unfinished: self.unfinished_cores(),
+                                    mc_queues: self.mc_queue_snapshot(),
+                                    cores: self.core_snapshot(),
+                                });
                             }
-                            self.now = target.max(self.now);
                         }
+                        self.now = target.max(self.now);
                     }
                 }
             }
         }
+        self.flush_idle();
         Err(SimError::Timeout {
             max_cycles,
             unfinished: self.unfinished_cores(),

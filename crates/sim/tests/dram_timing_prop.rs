@@ -11,7 +11,7 @@
 //!   channel state never yields an *earlier* completion.
 
 use mcs_sim::addr::PhysAddr;
-use mcs_sim::config::DramConfig;
+use mcs_sim::config::{DramConfig, MemTech};
 use mcs_sim::dram::{Ddr4Channel, Ddr5Channel, DramModel, HbmChannel};
 use proptest::prelude::*;
 
@@ -30,7 +30,7 @@ fn ddr4_cfg() -> DramConfig {
         t_burst: 4,
         t_refi: 700,
         t_rfc: 50,
-        ..DramConfig::ddr4()
+        ..DramConfig::for_tech(MemTech::Ddr4)
     }
 }
 
@@ -46,7 +46,7 @@ fn ddr5_cfg() -> DramConfig {
         t_ccd_l: 9,
         t_refi: 700,
         t_rfc: 50,
-        ..DramConfig::ddr5()
+        ..DramConfig::for_tech(MemTech::Ddr5)
     }
 }
 
@@ -61,7 +61,7 @@ fn hbm_cfg() -> DramConfig {
         t_burst: 4,
         t_refi: 700,
         t_rfc: 50,
-        ..DramConfig::hbm2()
+        ..DramConfig::for_tech(MemTech::Hbm2)
     }
 }
 

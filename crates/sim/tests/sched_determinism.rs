@@ -1,0 +1,133 @@
+//! Scheduler-mode determinism: the event-driven scheduler is an
+//! *elision* of do-nothing cycles, never a reordering. These tests pin
+//! that claim three ways:
+//!
+//! * `EventDriven` vs `Conservative` must agree on the **entire**
+//!   [`RunStats`] (every core, cache, controller, and engine counter)
+//!   and on the final simulated clock, across all three memory
+//!   technologies with refresh armed — refresh deadlines are the one
+//!   periodic event a skip could plausibly jump over.
+//! * `EventDriven` vs `TickByTick` must agree on the final clock and on
+//!   every message-driven statistic (caches, controllers, engine).
+//!   Per-cycle core accounting is compared too: idle cycles elided by a
+//!   skip are re-attributed on wake, so totals match.
+//! * Both hold under an active fault plan, whose decision streams are
+//!   consumed per *event* and must therefore be schedule-invariant.
+
+use mcs_sim::config::{MemTech, SystemConfig};
+use mcs_sim::fault::FaultPlan;
+use mcs_sim::program::FixedProgram;
+use mcs_sim::stats::RunStats;
+use mcs_sim::uop::{StatTag, StoreData, Uop, UopKind};
+use mcs_sim::{PhysAddr, SchedMode, System, CACHELINE};
+
+/// A per-core workload that exercises every scheduling-relevant path:
+/// cached stores, loads, non-temporal stores, CLWB writebacks, fences,
+/// compute gaps long enough to make the cores go quiet (so skips arm),
+/// and a trailing pointer-chase-style reload of everything written.
+fn workload(core: usize) -> Vec<Uop> {
+    let base = 0x4_0000 + (core as u64) * 0x2_0000;
+    let mut uops = Vec::new();
+    for i in 0..24u64 {
+        let line = PhysAddr(base + i * CACHELINE as u64);
+        let nt = i % 5 == 0;
+        let size: u8 = if nt { CACHELINE as u8 } else { 8 };
+        uops.push(Uop::new(
+            UopKind::Store {
+                addr: line,
+                size,
+                data: StoreData::Imm(vec![core as u8; size as usize]),
+                nontemporal: nt,
+            },
+            StatTag::App,
+        ));
+        if i % 4 == 0 {
+            uops.push(Uop::new(UopKind::Clwb { addr: line }, StatTag::App));
+        }
+        if i % 8 == 7 {
+            uops.push(Uop::new(UopKind::Mfence, StatTag::App));
+            // A long quiet stretch: with nothing in flight the cores
+            // report a wake-at hint and the scheduler may skip ahead.
+            uops.push(
+                Uop::new(UopKind::Compute { cycles: 600 }, StatTag::App),
+            );
+        }
+    }
+    uops.push(Uop::new(UopKind::Mfence, StatTag::App));
+    for i in 0..24u64 {
+        let line = PhysAddr(base + i * CACHELINE as u64);
+        uops.push(Uop::new(
+            UopKind::Load { addr: line, size: 8 },
+            StatTag::App,
+        ));
+    }
+    uops
+}
+
+fn run_mode(cfg: &SystemConfig, mode: SchedMode) -> (RunStats, u64) {
+    let progs: Vec<Box<dyn mcs_sim::program::Program>> = (0..cfg.cores)
+        .map(|c| {
+            Box::new(FixedProgram::new(workload(c)))
+                as Box<dyn mcs_sim::program::Program>
+        })
+        .collect();
+    let mut sys = System::new(cfg.clone(), progs);
+    sys.set_sched_mode(mode);
+    let stats = sys.run(20_000_000).expect("workload finishes");
+    let now = sys.now();
+    (stats, now)
+}
+
+fn cfg_for(tech: MemTech, fault: FaultPlan) -> SystemConfig {
+    SystemConfig::builder().tech(tech).refresh(true).fault(fault).build()
+}
+
+#[test]
+fn event_driven_matches_conservative_on_full_stats_all_techs() {
+    for tech in [MemTech::Ddr4, MemTech::Ddr5, MemTech::Hbm2] {
+        let cfg = cfg_for(tech, FaultPlan::none());
+        let (cons, cons_now) = run_mode(&cfg, SchedMode::Conservative);
+        let (ev, ev_now) = run_mode(&cfg, SchedMode::EventDriven);
+        assert_eq!(
+            cons_now, ev_now,
+            "{tech:?}: final clock diverged between Conservative and \
+             EventDriven"
+        );
+        assert_eq!(
+            cons, ev,
+            "{tech:?}: RunStats diverged between Conservative and \
+             EventDriven"
+        );
+    }
+}
+
+#[test]
+fn event_driven_matches_tick_by_tick() {
+    let cfg = cfg_for(MemTech::Ddr4, FaultPlan::none());
+    let (tick, tick_now) = run_mode(&cfg, SchedMode::TickByTick);
+    let (ev, ev_now) = run_mode(&cfg, SchedMode::EventDriven);
+    assert_eq!(tick_now, ev_now, "final clock diverged vs TickByTick");
+    assert_eq!(tick.cycles, ev.cycles);
+    assert_eq!(tick.l1, ev.l1, "L1 stats diverged vs TickByTick");
+    assert_eq!(tick.llc, ev.llc, "LLC stats diverged vs TickByTick");
+    assert_eq!(tick.mcs, ev.mcs, "MC stats diverged vs TickByTick");
+    assert_eq!(tick.engine, ev.engine, "engine stats diverged");
+    assert_eq!(
+        tick.cores, ev.cores,
+        "per-core accounting diverged vs TickByTick (idle re-attribution \
+         on wake must cover every elided cycle)"
+    );
+}
+
+#[test]
+fn sched_modes_agree_under_faults() {
+    let cfg = cfg_for(MemTech::Ddr5, FaultPlan::mild(0xFA17));
+    let (cons, cons_now) = run_mode(&cfg, SchedMode::Conservative);
+    let (ev, ev_now) = run_mode(&cfg, SchedMode::EventDriven);
+    assert_eq!(cons_now, ev_now, "clock diverged under faults");
+    assert_eq!(
+        cons, ev,
+        "fault schedules must be elision-invariant: streams are consumed \
+         per event, not per cycle"
+    );
+}
